@@ -1,0 +1,84 @@
+// Command lbcheck validates an instance-level schedule (CSV, as exported
+// by lbsim -csv) against its task system (JSON, as produced by lbgen):
+// strict periodicity, non-preemptive non-overlap with wrap-around,
+// precedence with communication delays, and optional memory capacity.
+//
+// Usage:
+//
+//	lbgen -tasks 60 > sys.json
+//	lbsim -input sys.json -procs 5 -csv sched.csv
+//	lbcheck -system sys.json -schedule sched.csv -procs 5
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+
+	"repro/internal/arch"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/trace"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbcheck: ")
+	var (
+		system   = flag.String("system", "", "task-system JSON file (required)")
+		schedule = flag.String("schedule", "", "schedule CSV file (required)")
+		procs    = flag.Int("procs", 4, "number of processors the schedule targets")
+		commTime = flag.Int64("comm", 1, "inter-processor communication time C")
+		capacity = flag.Int64("cap", 0, "per-processor memory capacity (0 = unlimited)")
+	)
+	flag.Parse()
+	if *system == "" || *schedule == "" {
+		flag.Usage()
+		os.Exit(2)
+	}
+
+	sysFile, err := os.Open(*system)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer sysFile.Close()
+	ts, err := model.ReadJSON(sysFile)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ar, err := arch.New(*procs, model.Time(*commTime))
+	if err != nil {
+		log.Fatal(err)
+	}
+	if *capacity > 0 {
+		ar.SetMemCapacity(model.Mem(*capacity))
+	}
+
+	schedFile, err := os.Open(*schedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer schedFile.Close()
+	is, err := trace.ReadCSV(schedFile, ts, ar)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	errs := is.Validate()
+	if len(errs) == 0 {
+		fmt.Printf("OK: %d instances on %d processors, makespan %d, memory %s\n",
+			ts.TotalInstances(), ar.Procs, is.Makespan(), metrics.FormatMemVector(is.MemVector()))
+		return
+	}
+	fmt.Printf("INVALID: %d violations\n", len(errs))
+	for i, e := range errs {
+		if i == 20 {
+			fmt.Printf("... and %d more\n", len(errs)-20)
+			break
+		}
+		fmt.Println("  " + e.Error())
+	}
+	os.Exit(1)
+}

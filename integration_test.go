@@ -1,0 +1,169 @@
+package repro_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro"
+	"repro/internal/core"
+	"repro/internal/sched"
+	"repro/internal/trace"
+)
+
+// TestGoldenPaperFigures renders the worked example's before/after
+// schedules and pins the exact Gantt rows — a regression guard for the
+// full pipeline (model → manual schedule → balancer → trace), equivalent
+// to figures 3 and 4 of the paper.
+func TestGoldenPaperFigures(t *testing.T) {
+	ts := repro.NewTaskSet()
+	a, _ := ts.AddTask("a", 3, 1, 4)
+	b, _ := ts.AddTask("b", 6, 1, 1)
+	c, _ := ts.AddTask("c", 6, 1, 1)
+	d, _ := ts.AddTask("d", 12, 1, 2)
+	e, _ := ts.AddTask("e", 12, 1, 2)
+	for _, dep := range [][2]repro.TaskID{{a, b}, {b, c}, {b, d}, {d, e}} {
+		if err := ts.AddDependence(dep[0], dep[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ar := repro.MustNewArchitecture(3, 1)
+	s, err := repro.NewManualSchedule(ts, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustPlace(a, 0, 0)
+	s.MustPlace(b, 1, 5)
+	s.MustPlace(c, 1, 6)
+	s.MustPlace(d, 2, 13)
+	s.MustPlace(e, 2, 14)
+
+	var before bytes.Buffer
+	if err := trace.GanttSchedule(&before, s); err != nil {
+		t.Fatal(err)
+	}
+	wantBefore := []string{
+		"P1    a..a..a..a.....",
+		"P2    .....bc....bc..",
+		"P3    .............de",
+	}
+	checkRows(t, "figure 3", before.String(), wantBefore)
+
+	res, err := repro.Balance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var after bytes.Buffer
+	if err := trace.Gantt(&after, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	wantAfter := []string{
+		"P1    a........abc..",
+		"P2    ...abc........",
+		"P3    ......a.....de",
+	}
+	checkRows(t, "figure 4", after.String(), wantAfter)
+}
+
+func checkRows(t *testing.T, label, got string, want []string) {
+	t.Helper()
+	for _, row := range want {
+		if !strings.Contains(got, row) {
+			t.Errorf("%s: missing row %q in:\n%s", label, row, got)
+		}
+	}
+}
+
+// TestGoldenCSVStable pins the CSV export of the balanced worked example
+// (first and last rows), guarding the export format and determinism.
+func TestGoldenCSVStable(t *testing.T) {
+	s := buildPaperSchedule(t)
+	res, err := repro.Balance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := trace.CSV(&buf, res.Schedule); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(buf.String()), "\n")
+	if len(lines) != 1+10 { // header + 10 instances
+		t.Fatalf("got %d CSV lines, want 11", len(lines))
+	}
+	if lines[1] != "a,1,1,0,1,4" {
+		t.Errorf("first row = %q, want a,1,1,0,1,4", lines[1])
+	}
+	if lines[10] != "e,1,3,13,14,2" {
+		t.Errorf("last row = %q, want e,1,3,13,14,2", lines[10])
+	}
+}
+
+// TestDeterminism runs the full pipeline twice and requires identical
+// results — the library must be reproducible run-to-run.
+func TestDeterminism(t *testing.T) {
+	run := func() *core.Result {
+		ts, err := repro.Generate(repro.GenConfig{Seed: 12, Tasks: 35, Utilization: 2.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		ar := repro.MustNewArchitecture(4, 1)
+		s, err := repro.Schedule(ts, ar)
+		if err != nil {
+			t.Skip(err)
+		}
+		res, err := repro.Balance(s)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	r1, r2 := run(), run()
+	if r1.MakespanAfter != r2.MakespanAfter {
+		t.Errorf("nondeterministic makespan: %d vs %d", r1.MakespanAfter, r2.MakespanAfter)
+	}
+	for p := range r1.MemAfter {
+		if r1.MemAfter[p] != r2.MemAfter[p] {
+			t.Errorf("nondeterministic memory on P%d: %d vs %d", p+1, r1.MemAfter[p], r2.MemAfter[p])
+		}
+	}
+	if len(r1.Moves) != len(r2.Moves) {
+		t.Fatalf("nondeterministic move count: %d vs %d", len(r1.Moves), len(r2.Moves))
+	}
+	for i := range r1.Moves {
+		if r1.Moves[i].To != r2.Moves[i].To || r1.Moves[i].NewStart != r2.Moves[i].NewStart {
+			t.Errorf("move %d differs between runs", i)
+		}
+	}
+}
+
+func buildPaperSchedule(t *testing.T) *sched.Schedule {
+	t.Helper()
+	ts := repro.NewTaskSet()
+	a, _ := ts.AddTask("a", 3, 1, 4)
+	b, _ := ts.AddTask("b", 6, 1, 1)
+	c, _ := ts.AddTask("c", 6, 1, 1)
+	d, _ := ts.AddTask("d", 12, 1, 2)
+	e, _ := ts.AddTask("e", 12, 1, 2)
+	for _, dep := range [][2]repro.TaskID{{a, b}, {b, c}, {b, d}, {d, e}} {
+		if err := ts.AddDependence(dep[0], dep[1], 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ts.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ar := repro.MustNewArchitecture(3, 1)
+	s, err := repro.NewManualSchedule(ts, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustPlace(a, 0, 0)
+	s.MustPlace(b, 1, 5)
+	s.MustPlace(c, 1, 6)
+	s.MustPlace(d, 2, 13)
+	s.MustPlace(e, 2, 14)
+	return s
+}

@@ -1,0 +1,127 @@
+package analysis
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+)
+
+// schedulability.go collects necessary conditions for non-preemptive
+// strict-periodic multiprocessor schedulability, used as fast pre-checks
+// before running the scheduling heuristic (which is incomplete: a
+// rejection by these conditions is definitive, a pass is not a
+// guarantee).
+
+// SchedReport is the outcome of the necessary-condition screen.
+type SchedReport struct {
+	Utilization   float64 // ΣEi/Ti
+	UtilBound     float64 // M
+	DensestPeriod model.Time
+	DensestDemand model.Time // busy time demanded within the densest period class
+	PairConflicts []PairConflict
+	PassesAll     bool
+}
+
+// PairConflict names two tasks that can never share any processor
+// (Ei + Ej > gcd(Ti, Tj)): wherever they run, they must be split across
+// processors, and a dependence between them then forces an
+// inter-processor communication.
+type PairConflict struct {
+	A, B model.TaskID
+	GCD  model.Time
+}
+
+// CheckSchedulability screens a task set against M processors:
+//
+//  1. Utilisation: ΣEi/Ti ≤ M (no schedule exists otherwise).
+//  2. Hyper-period demand: Σ Ei·(H/Ti) ≤ M·H (equivalent restatement,
+//     kept separately because integer WCETs can round differently).
+//  3. Pairwise gcd windows: Ei + Ej ≤ gcd(Ti, Tj) must hold for two
+//     tasks to share a processor (reference [1] theory, see
+//     model.Compatible); conflicting pairs are reported, and a clique of
+//     more than M mutually incompatible tasks is a definitive rejection.
+//
+// It returns the report and an error when a definitive impossibility is
+// found.
+func CheckSchedulability(ts *model.TaskSet, m int) (*SchedReport, error) {
+	if m < 1 {
+		return nil, fmt.Errorf("analysis: need at least one processor")
+	}
+	rep := &SchedReport{
+		Utilization: ts.Utilization(),
+		UtilBound:   float64(m),
+		PassesAll:   true,
+	}
+	if rep.Utilization > rep.UtilBound {
+		rep.PassesAll = false
+		return rep, fmt.Errorf("analysis: utilisation %.3f exceeds %d processors", rep.Utilization, m)
+	}
+
+	h := ts.HyperPeriod()
+	var demand model.Time
+	for _, t := range ts.Tasks() {
+		demand += t.WCET * (h / t.Period)
+	}
+	if demand > model.Time(m)*h {
+		rep.PassesAll = false
+		return rep, fmt.Errorf("analysis: hyper-period demand %d exceeds capacity %d", demand, model.Time(m)*h)
+	}
+
+	// Densest period class, reported for diagnostics (a class overflowing
+	// M copies of its period implies utilisation > M, so the utilisation
+	// bound above already rejects it — no separate check needed).
+	classDemand := make(map[model.Time]model.Time)
+	for _, t := range ts.Tasks() {
+		classDemand[t.Period] += t.WCET
+	}
+	for p, d := range classDemand {
+		if d > rep.DensestDemand || (d == rep.DensestDemand && p > rep.DensestPeriod) {
+			rep.DensestPeriod, rep.DensestDemand = p, d
+		}
+	}
+
+	// Pairwise gcd windows.
+	tasks := ts.Tasks()
+	for i := 0; i < len(tasks); i++ {
+		for j := i + 1; j < len(tasks); j++ {
+			g := model.GCD(tasks[i].Period, tasks[j].Period)
+			if tasks[i].WCET+tasks[j].WCET > g {
+				rep.PairConflicts = append(rep.PairConflicts, PairConflict{
+					A: tasks[i].ID, B: tasks[j].ID, GCD: g,
+				})
+			}
+		}
+	}
+	// A clique of pairwise-incompatible tasks needs one processor each.
+	// Maximum clique is NP-hard; a greedily grown clique is a sound lower
+	// bound, and exceeding M already proves infeasibility.
+	if clique := greedyIncompatClique(tasks, m); clique > m {
+		rep.PassesAll = false
+		return rep, fmt.Errorf("analysis: %d mutually incompatible tasks exceed %d processors", clique, m)
+	}
+	return rep, nil
+}
+
+// greedyIncompatClique grows a clique of pairwise-incompatible tasks
+// greedily (sound lower bound on the true maximum clique; stops early at
+// m+1 since that already proves infeasibility).
+func greedyIncompatClique(tasks []model.Task, m int) int {
+	var clique []model.Task
+	for _, t := range tasks {
+		ok := true
+		for _, c := range clique {
+			g := model.GCD(t.Period, c.Period)
+			if t.WCET+c.WCET <= g {
+				ok = false
+				break
+			}
+		}
+		if ok {
+			clique = append(clique, t)
+			if len(clique) > m {
+				break
+			}
+		}
+	}
+	return len(clique)
+}

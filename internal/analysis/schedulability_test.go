@@ -1,0 +1,80 @@
+package analysis
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func set(t *testing.T, specs ...[3]model.Time) *model.TaskSet {
+	t.Helper()
+	ts := model.NewTaskSet()
+	for i, sp := range specs {
+		ts.MustAddTask(string(rune('a'+i)), sp[0], sp[1], 1)
+	}
+	ts.MustFreeze()
+	return ts
+}
+
+func TestSchedulabilityPasses(t *testing.T) {
+	ts := set(t, [3]model.Time{4, 1, 0}, [3]model.Time{8, 2, 0})
+	rep, err := CheckSchedulability(ts, 2)
+	if err != nil {
+		t.Fatalf("feasible set rejected: %v", err)
+	}
+	if !rep.PassesAll {
+		t.Error("PassesAll false on a feasible set")
+	}
+}
+
+func TestSchedulabilityUtilizationBound(t *testing.T) {
+	// Two tasks each with full utilisation on one processor.
+	ts := set(t, [3]model.Time{4, 4, 0}, [3]model.Time{4, 4, 0})
+	_, err := CheckSchedulability(ts, 1)
+	if err == nil || !strings.Contains(err.Error(), "utilisation") {
+		t.Fatalf("overload not rejected: %v", err)
+	}
+}
+
+func TestSchedulabilityDensestClassReported(t *testing.T) {
+	ts := set(t, [3]model.Time{4, 3, 0}, [3]model.Time{4, 3, 0}, [3]model.Time{100, 1, 0})
+	rep, err := CheckSchedulability(ts, 3)
+	if err != nil {
+		t.Fatalf("unexpected rejection: %v", err)
+	}
+	if rep.DensestPeriod != 4 || rep.DensestDemand != 6 {
+		t.Errorf("densest class = (%d, %d), want (4, 6)", rep.DensestPeriod, rep.DensestDemand)
+	}
+}
+
+func TestSchedulabilityCliqueBound(t *testing.T) {
+	// Three tasks, pairwise incompatible (E+E > gcd), on 2 processors.
+	ts := set(t,
+		[3]model.Time{4, 3, 0},
+		[3]model.Time{4, 3, 0},
+		[3]model.Time{8, 3, 0},
+	)
+	_, err := CheckSchedulability(ts, 2)
+	if err == nil {
+		t.Fatal("three mutually incompatible tasks on 2 processors accepted")
+	}
+}
+
+func TestSchedulabilityReportsPairConflicts(t *testing.T) {
+	ts := set(t, [3]model.Time{4, 3, 0}, [3]model.Time{8, 3, 0})
+	rep, err := CheckSchedulability(ts, 2)
+	if err != nil {
+		t.Fatalf("separable pair rejected: %v", err)
+	}
+	if len(rep.PairConflicts) != 1 || rep.PairConflicts[0].GCD != 4 {
+		t.Errorf("pair conflicts = %+v, want one with gcd 4", rep.PairConflicts)
+	}
+}
+
+func TestSchedulabilityNeedsProcessor(t *testing.T) {
+	ts := set(t, [3]model.Time{4, 1, 0})
+	if _, err := CheckSchedulability(ts, 0); err == nil {
+		t.Fatal("zero processors accepted")
+	}
+}

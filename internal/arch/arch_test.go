@@ -1,0 +1,68 @@
+package arch
+
+import "testing"
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, 1); err == nil {
+		t.Error("zero processors accepted")
+	}
+	if _, err := New(2, -1); err == nil {
+		t.Error("negative comm time accepted")
+	}
+	a, err := New(3, 2)
+	if err != nil || a.Procs != 3 || a.CommTime != 2 {
+		t.Fatalf("New(3,2) = %+v, %v", a, err)
+	}
+}
+
+func TestDefaultBusRoutesAllPairs(t *testing.T) {
+	a := MustNew(4, 1)
+	for i := 0; i < 4; i++ {
+		for j := 0; j < 4; j++ {
+			if i == j {
+				continue
+			}
+			m, err := a.Route(ProcID(i), ProcID(j))
+			if err != nil || m != 0 {
+				t.Errorf("Route(%d,%d) = %d, %v", i, j, m, err)
+			}
+		}
+	}
+	if a.Media() != 1 || a.MediumName(0) != "Med" {
+		t.Errorf("default media wrong: %d %q", a.Media(), a.MediumName(0))
+	}
+}
+
+func TestAddMediumOverridesRoute(t *testing.T) {
+	a := MustNew(3, 1)
+	id, err := a.AddMedium("link12", 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m, _ := a.Route(0, 1); m != id {
+		t.Errorf("route 0→1 = %d, want %d", m, id)
+	}
+	if m, _ := a.Route(0, 2); m != 0 {
+		t.Errorf("route 0→2 = %d, want bus", m)
+	}
+}
+
+func TestAddMediumValidation(t *testing.T) {
+	a := MustNew(2, 1)
+	if _, err := a.AddMedium("solo", 0); err == nil {
+		t.Error("single-processor medium accepted")
+	}
+	if _, err := a.AddMedium("bad", 0, ProcID(7)); err == nil {
+		t.Error("unknown processor accepted")
+	}
+}
+
+func TestProcNamesAndValid(t *testing.T) {
+	a := MustNew(2, 1)
+	if a.ProcName(0) != "P1" || a.ProcName(1) != "P2" {
+		t.Errorf("names: %s %s", a.ProcName(0), a.ProcName(1))
+	}
+	if a.Valid(ProcID(-1)) || a.Valid(ProcID(2)) || !a.Valid(0) {
+		t.Error("Valid wrong")
+	}
+}

@@ -1,0 +1,232 @@
+// Package blocks groups scheduled task instances into the paper's blocks
+// (§3.1): a block is one instance, or several dependent instances
+// scheduled on the same processor so tightly that moving any one of them
+// separately would require an inter-processor communication that does not
+// fit in the slack between them (equations 1 and 2 of the paper).
+//
+// Two dependent instances u → v on the same processor belong to the same
+// block when start(v) < end(u) + C: there is not enough room between them
+// for the communication a separation would create. When the gap is at
+// least C, the instances form separate blocks — each can move on its own.
+//
+// Blocks fall into two categories (§3.1):
+//
+//	Category 1: every member is the *first* instance (k = 0) of its task.
+//	  Moving such a block can decrease its start time, improving the total
+//	  execution time.
+//	Category 2: the earliest member is a later instance (k > 0). Its start
+//	  time is pinned by strict periodicity to the first-category block
+//	  holding the first instance, and decreases only by propagation.
+package blocks
+
+import (
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Member is one instance inside a block with its current start time.
+type Member struct {
+	Inst  model.InstanceID
+	Start model.Time
+}
+
+// Block is a group of dependent co-scheduled instances that moves as a
+// unit.
+type Block struct {
+	ID       int
+	Proc     arch.ProcID // processor currently hosting the block
+	Members  []Member    // sorted by start time at construction
+	Category int         // 1 or 2
+
+	exec  model.Time // ΣE of members
+	mem   model.Mem  // Σm of members (per-instance accounting)
+	start model.Time // cached min member start
+	end   model.Time // cached max member end
+}
+
+// Start returns the block's start time: the smallest member start.
+func (b *Block) Start() model.Time { return b.start }
+
+// End returns the completion time of the last-finishing member.
+func (b *Block) End(ts *model.TaskSet) model.Time { return b.end }
+
+// Recompute refreshes the cached start/end bounds after member starts
+// changed individually (per-task propagation shifts).
+func (b *Block) Recompute(ts *model.TaskSet) {
+	b.start = b.Members[0].Start
+	b.end = b.Members[0].Start + ts.Task(b.Members[0].Inst.Task).WCET
+	for _, m := range b.Members[1:] {
+		if m.Start < b.start {
+			b.start = m.Start
+		}
+		if e := m.Start + ts.Task(m.Inst.Task).WCET; e > b.end {
+			b.end = e
+		}
+	}
+}
+
+// Exec returns the sum of member execution times (the E_B of the Block
+// Condition).
+func (b *Block) Exec() model.Time { return b.exec }
+
+// Mem returns the sum of member memory amounts (the m_B of the cost
+// function).
+func (b *Block) Mem() model.Mem { return b.mem }
+
+// Shift rigidly moves every member by delta (negative = earlier).
+func (b *Block) Shift(delta model.Time) {
+	for i := range b.Members {
+		b.Members[i].Start += delta
+	}
+	b.start += delta
+	b.end += delta
+}
+
+// HasInstance reports whether the block contains the given instance.
+func (b *Block) HasInstance(iid model.InstanceID) bool {
+	for _, m := range b.Members {
+		if m.Inst == iid {
+			return true
+		}
+	}
+	return false
+}
+
+// Tasks returns the distinct task IDs present in the block.
+func (b *Block) Tasks() []model.TaskID {
+	seen := make(map[model.TaskID]bool, len(b.Members))
+	var out []model.TaskID
+	for _, m := range b.Members {
+		if !seen[m.Inst.Task] {
+			seen[m.Inst.Task] = true
+			out = append(out, m.Inst.Task)
+		}
+	}
+	return out
+}
+
+// Build constructs the blocks of an instance-level schedule, one set per
+// processor, and returns them sorted by (start time, processor, first
+// member). Block IDs are assigned in that order.
+func Build(is *sched.InstSchedule) []*Block {
+	ts := is.TS
+	c := is.Arch.CommTime
+	var all []*Block
+
+	for p := arch.ProcID(0); int(p) < is.Arch.Procs; p++ {
+		insts := is.InstancesOn(p)
+		if len(insts) == 0 {
+			continue
+		}
+		idx := make(map[model.InstanceID]int, len(insts))
+		for i, iid := range insts {
+			idx[iid] = i
+		}
+		// Union instances linked by a dependence with slack < C.
+		uf := newUnionFind(len(insts))
+		for i, iid := range insts {
+			for _, src := range model.InstanceDeps(ts, iid.Task, iid.K) {
+				j, here := idx[src]
+				if !here {
+					continue
+				}
+				pl, _ := is.Placement(iid)
+				if pl.Start < is.End(src)+c {
+					uf.union(i, j)
+				}
+			}
+		}
+		groups := make(map[int][]model.InstanceID)
+		for i, iid := range insts {
+			r := uf.find(i)
+			groups[r] = append(groups[r], iid)
+		}
+		for _, g := range groups {
+			all = append(all, newBlock(is, p, g))
+		}
+	}
+
+	sort.Slice(all, func(i, j int) bool {
+		a, b := all[i], all[j]
+		if a.Start() != b.Start() {
+			return a.Start() < b.Start()
+		}
+		if a.Proc != b.Proc {
+			return a.Proc < b.Proc
+		}
+		ai, bi := a.Members[0].Inst, b.Members[0].Inst
+		if ai.Task != bi.Task {
+			return ai.Task < bi.Task
+		}
+		return ai.K < bi.K
+	})
+	for i, b := range all {
+		b.ID = i
+	}
+	return all
+}
+
+func newBlock(is *sched.InstSchedule, p arch.ProcID, g []model.InstanceID) *Block {
+	ts := is.TS
+	b := &Block{Proc: p, Category: 1}
+	for _, iid := range g {
+		pl, _ := is.Placement(iid)
+		b.Members = append(b.Members, Member{Inst: iid, Start: pl.Start})
+		b.exec += ts.Task(iid.Task).WCET
+		b.mem += ts.Task(iid.Task).Mem
+	}
+	sort.Slice(b.Members, func(i, j int) bool {
+		a, c := b.Members[i], b.Members[j]
+		if a.Start != c.Start {
+			return a.Start < c.Start
+		}
+		if a.Inst.Task != c.Inst.Task {
+			return a.Inst.Task < c.Inst.Task
+		}
+		return a.Inst.K < c.Inst.K
+	})
+	// Category 2 when the first member is a later instance of its task
+	// (§3.1: "a block whose the first task is another instance than the
+	// first instance of this task").
+	if b.Members[0].Inst.K > 0 {
+		b.Category = 2
+	}
+	b.Recompute(ts)
+	return b
+}
+
+// unionFind is a minimal disjoint-set structure.
+type unionFind struct{ parent, rank []int }
+
+func newUnionFind(n int) *unionFind {
+	u := &unionFind{parent: make([]int, n), rank: make([]int, n)}
+	for i := range u.parent {
+		u.parent[i] = i
+	}
+	return u
+}
+
+func (u *unionFind) find(x int) int {
+	for u.parent[x] != x {
+		u.parent[x] = u.parent[u.parent[x]]
+		x = u.parent[x]
+	}
+	return x
+}
+
+func (u *unionFind) union(a, b int) {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return
+	}
+	if u.rank[ra] < u.rank[rb] {
+		ra, rb = rb, ra
+	}
+	u.parent[rb] = ra
+	if u.rank[ra] == u.rank[rb] {
+		u.rank[ra]++
+	}
+}

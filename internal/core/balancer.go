@@ -1,0 +1,493 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/blocks"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// Move records one block relocation performed by the heuristic.
+type Move struct {
+	BlockID    int
+	From, To   arch.ProcID
+	OldStart   model.Time
+	NewStart   model.Time
+	Gain       model.Time
+	Category   int
+	Forced     bool // no processor was feasible; block kept in place
+	RelaxedLCM bool // placed only after relaxing eq. (4) to the exact wrap check
+	Candidates []Candidate
+}
+
+// Result is the outcome of one balancing run.
+type Result struct {
+	Schedule *sched.InstSchedule // the balanced schedule
+	Blocks   []*blocks.Block     // the blocks, with final positions
+	Moves    []Move
+
+	MakespanBefore model.Time
+	MakespanAfter  model.Time
+	MemBefore      []model.Mem
+	MemAfter       []model.Mem
+	Forced         int // number of forced (infeasible-everywhere) blocks
+	RelaxedLCM     int // blocks placed only after relaxing eq. (4)
+
+	// ConservativePropagation reports that the optimistic first pass left
+	// forced blocks and the result comes from the provably safe
+	// conservative rerun (see Balancer.Run).
+	ConservativePropagation bool
+}
+
+// GainTotal returns Lformer − Lnew, the paper's Gtotal.
+func (r *Result) GainTotal() model.Time { return r.MakespanBefore - r.MakespanAfter }
+
+// Balancer runs the load-balancing and memory-usage heuristic.
+type Balancer struct {
+	Policy Policy
+
+	// IgnoreTiming disables the timing filters (candidate last-end filter,
+	// gain computation, LCM condition): every processor is a candidate and
+	// blocks keep their start times. Used with PolicyMemoryOnly for the
+	// Theorem 2 regime where "the total execution time is not taken into
+	// consideration" (§5.2).
+	IgnoreTiming bool
+
+	// RecordCandidates keeps the per-processor evaluation of every block
+	// in the result (needed by the worked-example test and the CLI trace).
+	RecordCandidates bool
+
+	// DisableLCMCondition drops the paper's Block Condition (eq. 4)
+	// entirely, relying on the exact wrap-around interval check alone.
+	// The default keeps eq. (4) as the primary filter — matching the
+	// paper's published candidate rejections — and falls back to the
+	// exact check only for blocks eq. (4) would otherwise leave with no
+	// processor at all (counted in Result.RelaxedLCM).
+	DisableLCMCondition bool
+
+	// script, when non-nil, forces the first len(script) placement
+	// decisions (used by ExhaustiveBest). Not part of the public API.
+	script []arch.ProcID
+}
+
+// ivl is one occupied interval on a processor timeline.
+type ivl struct{ start, end model.Time }
+
+// balState carries the per-processor incremental state of one run.
+type balState struct {
+	intervals  [][]ivl      // blocks moved to each processor, as intervals
+	firstStart []model.Time // start of first block moved there (-1 = none)
+	memSum     []model.Mem  // Σ m of blocks moved there
+	anyMoved   []bool
+
+	// resv[p] holds the unprocessed blocks currently hosted on p — their
+	// members are the reservations conflict checks must honour. A block is
+	// removed from its original processor's set when it is committed.
+	resv []map[int]*blocks.Block
+
+	// taskBlocks indexes the blocks holding instances of each task
+	// (static: block membership never changes during a run).
+	taskBlocks map[model.TaskID][]*blocks.Block
+}
+
+// removeResv drops a block from the reservation index once processed.
+func (st *balState) removeResv(bl *blocks.Block) {
+	delete(st.resv[bl.Proc], bl.ID)
+}
+
+// Run balances the given instance-level schedule and returns the result.
+// The input schedule is not modified.
+//
+// Run is two-pass: the first pass caps gain propagation optimistically
+// (assuming shifted blocks can later co-locate with their producers, as
+// the paper's worked example does in its step 6). When that bet fails —
+// some block ends up with no feasible processor (Forced > 0) — the
+// balancer reruns with the conservative cap, under which every shift is
+// provably realisable and no block is ever forced.
+func (b *Balancer) Run(input *sched.InstSchedule) (*Result, error) {
+	res, err := b.runPass(input, false)
+	if err != nil {
+		return nil, err
+	}
+	if res.Forced == 0 {
+		return res, nil
+	}
+	cons, err := b.runPass(input, true)
+	if err != nil {
+		return nil, err
+	}
+	cons.ConservativePropagation = true
+	return cons, nil
+}
+
+// runPass is one full balancing pass.
+func (b *Balancer) runPass(input *sched.InstSchedule, conservative bool) (*Result, error) {
+	ts, ar := input.TS, input.Arch
+	blks := blocks.Build(input)
+	if len(blks) == 0 {
+		return nil, fmt.Errorf("core: nothing to balance: no blocks")
+	}
+
+	res := &Result{
+		Blocks:         blks,
+		MakespanBefore: input.Makespan(),
+		MemBefore:      input.MemVector(),
+	}
+
+	// Index: instance → block, for producer position lookups.
+	owner := make(map[model.InstanceID]*blocks.Block, ts.TotalInstances())
+	for _, bl := range blks {
+		for _, m := range bl.Members {
+			owner[m.Inst] = bl
+		}
+	}
+
+	st := &balState{
+		intervals:  make([][]ivl, ar.Procs),
+		firstStart: make([]model.Time, ar.Procs),
+		memSum:     make([]model.Mem, ar.Procs),
+		anyMoved:   make([]bool, ar.Procs),
+		resv:       make([]map[int]*blocks.Block, ar.Procs),
+	}
+	for i := range st.firstStart {
+		st.firstStart[i] = -1
+		st.resv[i] = make(map[int]*blocks.Block)
+	}
+	st.taskBlocks = make(map[model.TaskID][]*blocks.Block)
+	for _, bl := range blks {
+		st.resv[bl.Proc][bl.ID] = bl
+		for _, task := range bl.Tasks() {
+			st.taskBlocks[task] = append(st.taskBlocks[task], bl)
+		}
+	}
+
+	processed := make([]bool, len(blks))
+	for n := 0; n < len(blks); n++ {
+		bl := nextBlock(blks, processed)
+		st.removeResv(bl)
+		var want *arch.ProcID
+		if n < len(b.script) {
+			want = &b.script[n]
+		}
+		mv, err := b.placeBlock(ts, ar, bl, blks, owner, processed, st, conservative, want)
+		if err != nil {
+			return nil, err
+		}
+		processed[bl.ID] = true
+		if mv.Forced {
+			res.Forced++
+		}
+		if mv.RelaxedLCM {
+			res.RelaxedLCM++
+		}
+		res.Moves = append(res.Moves, mv)
+	}
+
+	out := sched.NewInstSchedule(ts, ar)
+	for _, bl := range blks {
+		for _, m := range bl.Members {
+			out.Place(m.Inst, bl.Proc, m.Start)
+		}
+	}
+	res.Schedule = out
+	res.MakespanAfter = out.Makespan()
+	res.MemAfter = out.MemVector()
+	return res, nil
+}
+
+// nextBlock picks the unprocessed block with the smallest current start
+// time (ties: processor, then first member identity). Starts change under
+// propagation, so the choice is recomputed every round.
+func nextBlock(blks []*blocks.Block, processed []bool) *blocks.Block {
+	var best *blocks.Block
+	for _, bl := range blks {
+		if processed[bl.ID] {
+			continue
+		}
+		if best == nil || blockLess(bl, best) {
+			best = bl
+		}
+	}
+	return best
+}
+
+func blockLess(a, b *blocks.Block) bool {
+	if a.Start() != b.Start() {
+		return a.Start() < b.Start()
+	}
+	if a.Proc != b.Proc {
+		return a.Proc < b.Proc
+	}
+	ai, bi := a.Members[0].Inst, b.Members[0].Inst
+	if ai.Task != bi.Task {
+		return ai.Task < bi.Task
+	}
+	return ai.K < bi.K
+}
+
+// placeBlock evaluates all processors for bl, applies the policy, commits
+// the move, and propagates gains to later-instance blocks.
+func (b *Balancer) placeBlock(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
+	blks []*blocks.Block, owner map[model.InstanceID]*blocks.Block, processed []bool, st *balState,
+	conservative bool, want *arch.ProcID) (Move, error) {
+
+	sOld := bl.Start()
+	cands := make([]Candidate, 0, ar.Procs)
+	var best *Candidate
+	ctx := newPctx(ts, ar, bl, blks, owner, processed, st, conservative)
+
+	relaxed := false
+	for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
+		c := b.evaluate(ctx, owner, p, b.DisableLCMCondition)
+		if c.Feasible {
+			c.Lambda = lambda(b.Policy, c.Gain, st.memSum[p])
+			if best == nil || better(b.Policy, c, *best) {
+				cc := c
+				best = &cc
+			}
+		}
+		cands = append(cands, c)
+	}
+	if best == nil && !b.DisableLCMCondition {
+		// eq. (4) left the block with no processor; retry with the exact
+		// wrap-around check only.
+		relaxed = true
+		for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
+			c := b.evaluate(ctx, owner, p, true)
+			if c.Feasible {
+				c.Lambda = lambda(b.Policy, c.Gain, st.memSum[p])
+				if best == nil || better(b.Policy, c, *best) {
+					cc := c
+					best = &cc
+				}
+			}
+		}
+	}
+
+	// Scripted decision: override the policy with the forced processor,
+	// failing the whole pass when it is infeasible at this step.
+	if want != nil {
+		best = nil
+		c := b.evaluate(ctx, owner, *want, b.DisableLCMCondition)
+		if !c.Feasible {
+			c = b.evaluate(ctx, owner, *want, true)
+			relaxed = c.Feasible
+		}
+		if !c.Feasible {
+			return Move{}, fmt.Errorf("core: scripted placement of block %d on P%d infeasible: %s",
+				bl.ID, int(*want)+1, c.Reason)
+		}
+		c.Lambda = lambda(b.Policy, c.Gain, st.memSum[*want])
+		best = &c
+	}
+
+	mv := Move{BlockID: bl.ID, From: bl.Proc, OldStart: sOld, Category: bl.Category}
+	if b.RecordCandidates {
+		mv.Candidates = cands
+	}
+	if best != nil && relaxed {
+		mv.RelaxedLCM = true
+	}
+
+	if best == nil {
+		// No processor feasible: keep the block where it is (recorded as
+		// forced; final validation reports any resulting inconsistency).
+		mv.To, mv.NewStart, mv.Gain, mv.Forced = bl.Proc, sOld, 0, true
+		b.commit(ts, ar, bl, blks, processed, st, bl.Proc, sOld)
+		return mv, nil
+	}
+
+	mv.To, mv.NewStart, mv.Gain = best.Proc, best.NewStart, best.Gain
+	b.commit(ts, ar, bl, blks, processed, st, best.Proc, best.NewStart)
+	return mv, nil
+}
+
+// evaluate computes the candidate record for moving the context block to
+// processor p. With relaxLCM the Block Condition (eq. 4) is skipped; the
+// exact wrap-around interval and reservation checks always apply.
+func (b *Balancer) evaluate(ctx *pctx, owner map[model.InstanceID]*blocks.Block, p arch.ProcID, relaxLCM bool) Candidate {
+	ts, ar, bl, st := ctx.ts, ctx.ar, ctx.bl, ctx.st
+	c := Candidate{Proc: p, MemSum: st.memSum[p]}
+	sOld := bl.Start()
+
+	if cap := ar.MemCapacity; cap > 0 && st.memSum[p]+bl.Mem() > cap {
+		c.Reason = "memory capacity"
+		return c
+	}
+
+	if b.IgnoreTiming {
+		c.Feasible, c.NewStart, c.Gain = true, sOld, 0
+		return c
+	}
+
+	movedLB, conservativeLB := b.depBounds(ctx, owner, p)
+
+	var newStart model.Time
+	if bl.Category == 2 {
+		// Pinned by strict periodicity: the block cannot shift on its own.
+		// Unprocessed producers are safe at the unchanged start (the
+		// current schedule satisfies them and their ends only decrease),
+		// so only moved producers and occupancy are checked.
+		if movedLB > sOld {
+			c.Reason = "moved producers finish too late for the pinned start"
+			return c
+		}
+		if !ctx.conflictFree(p, sOld) {
+			c.Reason = "no room at the pinned start"
+			return c
+		}
+		newStart = sOld
+	} else {
+		s, ok := b.earliestOn(ctx, p, movedLB, conservativeLB)
+		if !ok {
+			c.Reason = "no conflict-free start within dependence bounds"
+			return c
+		}
+		newStart = s
+	}
+
+	// Cap the gain so that propagation to later-instance blocks stays
+	// feasible (see DESIGN.md §4: the paper assumes this implicitly).
+	if gain := sOld - newStart; gain > 0 {
+		if maxG := ctx.cachedPropagationCap(); maxG < gain {
+			newStart = sOld - maxG
+			if !ctx.conflictFree(p, newStart) {
+				// The capped position may conflict; fall back to staying put.
+				if ctx.conflictFree(p, sOld) {
+					newStart = sOld
+				} else {
+					c.Reason = "no conflict-free start within dependence bounds"
+					return c
+				}
+			}
+		}
+	}
+
+	// Block (LCM) Condition, eq. (4).
+	if !relaxLCM && st.firstStart[p] >= 0 && newStart+bl.Exec() > st.firstStart[p]+ts.HyperPeriod() {
+		c.Reason = "LCM condition"
+		return c
+	}
+
+	c.Feasible, c.NewStart, c.Gain = true, newStart, sOld-newStart
+	return c
+}
+
+// depBounds computes the producer lower bounds on the block start for a
+// landing on p. Producers in already moved blocks contribute their exact
+// position and processor (movedLB); unprocessed producers contribute
+// their current end plus a conservative C (conservativeLB), since they
+// may end up anywhere.
+func (b *Balancer) depBounds(ctx *pctx, owner map[model.InstanceID]*blocks.Block, p arch.ProcID) (movedLB, conservativeLB model.Time) {
+	ts, ar, bl := ctx.ts, ctx.ar, ctx.bl
+	sOld := bl.Start()
+	for _, m := range bl.Members {
+		off := m.Start - sOld // member offset inside the block
+		for _, src := range model.InstanceDeps(ts, m.Inst.Task, m.Inst.K) {
+			pb := owner[src]
+			if pb == bl {
+				continue
+			}
+			end := memberEnd(ts, pb, src)
+			if ctx.processed[pb.ID] {
+				delay := model.Time(0)
+				if pb.Proc != p {
+					delay = ar.CommTime
+				}
+				if v := end + delay - off; v > movedLB {
+					movedLB = v
+				}
+			} else {
+				if v := end + ar.CommTime - off; v > conservativeLB {
+					conservativeLB = v
+				}
+			}
+		}
+	}
+	return movedLB, conservativeLB
+}
+
+// earliestOn returns the earliest start of a first-category block on p
+// compatible with the already-moved blocks, the reservations of
+// unprocessed blocks, and the producer bounds — and whether it does not
+// exceed the current start (moves never delay a block). Keeping the block
+// at its unchanged start is always safe with respect to unprocessed
+// producers (the current schedule already satisfies them and their starts
+// can only decrease; a same-processor producer in a different block is at
+// distance ≥ C by block construction), so the conservative bound only
+// constrains actual gains.
+func (b *Balancer) earliestOn(ctx *pctx, p arch.ProcID, movedLB, conservativeLB model.Time) (model.Time, bool) {
+	sOld := ctx.bl.Start()
+	lb := movedLB
+	if conservativeLB > lb {
+		lb = conservativeLB
+	}
+	if lb < 0 {
+		lb = 0
+	}
+	if lb <= sOld {
+		if s, ok := ctx.earliestConflictFree(p, lb, sOld); ok {
+			return s, true
+		}
+	}
+	if movedLB <= sOld && ctx.conflictFree(p, sOld) {
+		return sOld, true
+	}
+	return 0, false
+}
+
+// memberEnd returns the current end time of instance iid inside block pb.
+func memberEnd(ts *model.TaskSet, pb *blocks.Block, iid model.InstanceID) model.Time {
+	for _, m := range pb.Members {
+		if m.Inst == iid {
+			return m.Start + ts.Task(iid.Task).WCET
+		}
+	}
+	panic(fmt.Sprintf("core: instance %v not in its owner block", iid))
+}
+
+// commit moves the block, updates per-processor state, and propagates the
+// gain to later-instance blocks of the same tasks.
+func (b *Balancer) commit(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
+	blks []*blocks.Block, processed []bool, st *balState, p arch.ProcID, newStart model.Time) {
+
+	gain := bl.Start() - newStart
+	bl.Shift(-gain)
+	bl.Proc = p
+
+	if !b.IgnoreTiming {
+		if !st.anyMoved[p] {
+			st.anyMoved[p] = true
+			st.firstStart[p] = newStart
+		}
+		st.intervals[p] = append(st.intervals[p], ivl{start: newStart, end: bl.End(ts)})
+	}
+	st.memSum[p] += bl.Mem()
+
+	if gain <= 0 || bl.Category != 1 {
+		return
+	}
+	// Strict periodicity propagation (§3.2): later instances of the tasks
+	// whose first instances just gained must shift by the same amount.
+	shifted := make(map[model.TaskID]bool, len(bl.Members))
+	for _, m := range bl.Members {
+		shifted[m.Inst.Task] = true
+	}
+	for _, other := range blks {
+		if other == bl || processed[other.ID] {
+			continue
+		}
+		changed := false
+		for i := range other.Members {
+			if shifted[other.Members[i].Inst.Task] {
+				other.Members[i].Start -= gain
+				changed = true
+			}
+		}
+		if changed {
+			other.Recompute(ts)
+		}
+	}
+}

@@ -1,0 +1,109 @@
+// Package core implements the paper's contribution: the load-balancing
+// and efficient-memory-usage heuristic (§3.2) over blocks of strictly
+// periodic dependent tasks.
+//
+// For each block A (in increasing current start time) the heuristic
+// evaluates every processor Pj whose last moved block ends no later than
+// A's start, computes the gain G = S_old − S_new obtainable by appending A
+// to Pj, checks the Block (LCM) Condition, and moves A to the processor
+// chosen by the cost policy. When a first-category block gains time, the
+// start times of later-instance blocks of the same tasks are decreased to
+// preserve strict periodicity (§3.2 step "Update the start times").
+package core
+
+import (
+	"math"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// Policy selects how candidate processors are ranked.
+type Policy int
+
+const (
+	// PolicyLexicographic maximises the gain G first and breaks ties by
+	// the smallest memory already moved to the candidate (then lowest
+	// processor index). This is the reading of the paper's cost function
+	// that reproduces every decision of the §3.3 worked example, including
+	// the ones where the printed eq. (5) values are inconsistent (see
+	// DESIGN.md §4).
+	PolicyLexicographic Policy = iota
+
+	// PolicyRatio implements eq. (5) literally: λ = G when nothing has
+	// been moved to Pj yet, else (G+1)/Σ m(B_i). Kept for the ablation
+	// study; it does not reproduce step 2 of the worked example.
+	PolicyRatio
+
+	// PolicyMemoryOnly is the §5.2 regime: the gain is treated as a
+	// constant, so λ = Cst/Σ m(B_i) and the heuristic always picks the
+	// processor with the least memory moved so far. With timing filters
+	// disabled (IgnoreTiming) this is the (2 − 1/M)-approximation of
+	// Theorem 2.
+	PolicyMemoryOnly
+)
+
+// String names the policy.
+func (p Policy) String() string {
+	switch p {
+	case PolicyLexicographic:
+		return "lexicographic"
+	case PolicyRatio:
+		return "ratio"
+	case PolicyMemoryOnly:
+		return "memory-only"
+	}
+	return "unknown"
+}
+
+// Candidate records the evaluation of one (block, processor) pair, kept
+// for tracing and for the worked-example test.
+type Candidate struct {
+	Proc     arch.ProcID
+	Feasible bool
+	Reason   string // why infeasible, empty when feasible
+	NewStart model.Time
+	Gain     model.Time
+	MemSum   model.Mem // Σ m of blocks already moved to Proc
+	Lambda   float64   // score under the active policy
+}
+
+// lambda computes the score of a feasible candidate under a policy.
+func lambda(p Policy, gain model.Time, memSum model.Mem) float64 {
+	switch p {
+	case PolicyRatio:
+		if memSum == 0 {
+			return float64(gain)
+		}
+		return (float64(gain) + 1) / float64(memSum)
+	case PolicyMemoryOnly:
+		if memSum == 0 {
+			return math.Inf(1)
+		}
+		return 1 / float64(memSum)
+	default: // PolicyLexicographic: encode (gain, -mem) into one float for reporting
+		if memSum == 0 {
+			return float64(gain) + 1
+		}
+		return (float64(gain) + 1) / float64(memSum)
+	}
+}
+
+// better reports whether candidate a beats candidate b under the policy.
+// Both must be feasible. Ties fall to the lowest processor index.
+func better(p Policy, a, b Candidate) bool {
+	switch p {
+	case PolicyLexicographic:
+		if a.Gain != b.Gain {
+			return a.Gain > b.Gain
+		}
+		if a.MemSum != b.MemSum {
+			return a.MemSum < b.MemSum
+		}
+	case PolicyRatio, PolicyMemoryOnly:
+		if a.Lambda != b.Lambda {
+			return a.Lambda > b.Lambda
+		}
+	}
+	return a.Proc < b.Proc
+}

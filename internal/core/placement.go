@@ -1,0 +1,240 @@
+package core
+
+import (
+	"repro/internal/arch"
+	"repro/internal/blocks"
+	"repro/internal/model"
+)
+
+// placement.go holds the feasibility machinery of the balancer: where a
+// block may land without breaking non-overlap (including the ±H images of
+// the repeating hyper-period pattern), honouring both the blocks already
+// moved and the *reservations* of blocks not yet processed.
+//
+// Reservations are the sound generalisation the paper leaves implicit:
+// every unprocessed block currently occupies its slot on its current
+// processor, and since "stay where you are" must remain an option for it,
+// no other block may be moved into that slot. Members of later-instance
+// blocks of the tasks being moved are special: they will shift together
+// with the candidate's gain, so their reservation is tested at the
+// shifted position.
+
+// pctx carries the inputs of one feasibility query.
+type pctx struct {
+	ts        *model.TaskSet
+	ar        *arch.Architecture
+	bl        *blocks.Block
+	blks      []*blocks.Block
+	owner     map[model.InstanceID]*blocks.Block
+	processed []bool
+	st        *balState
+	shifted   map[model.TaskID]bool // tasks of bl when bl is category 1
+
+	// conservative switches the propagation cap's producer rule from
+	// "assume eventual co-location" (delay 0, what the paper's worked
+	// example implicitly does) to "assume cross-processor" (delay C,
+	// provably safe). See Balancer.Run for the two-pass strategy.
+	conservative bool
+
+	capOnce  bool
+	capValue model.Time
+}
+
+// cachedPropagationCap computes propagationCap once per block (it does
+// not depend on the candidate processor).
+func (c *pctx) cachedPropagationCap() model.Time {
+	if !c.capOnce {
+		c.capValue = c.propagationCap()
+		c.capOnce = true
+	}
+	return c.capValue
+}
+
+func newPctx(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
+	blks []*blocks.Block, owner map[model.InstanceID]*blocks.Block,
+	processed []bool, st *balState, conservative bool) *pctx {
+	c := &pctx{ts: ts, ar: ar, bl: bl, blks: blks, owner: owner, processed: processed, st: st, conservative: conservative}
+	if bl.Category == 1 {
+		c.shifted = make(map[model.TaskID]bool, len(bl.Members))
+		for _, m := range bl.Members {
+			c.shifted[m.Inst.Task] = true
+		}
+	}
+	return c
+}
+
+// conflictFree reports whether the candidate block, placed at start s on
+// processor p (implying gain = sOld − s for category-1 blocks), overlaps
+// neither a moved interval nor a reservation on p.
+func (c *pctx) conflictFree(p arch.ProcID, s model.Time) bool {
+	h := c.ts.HyperPeriod()
+	sOld := c.bl.Start()
+	gain := sOld - s
+	span := c.bl.End(c.ts) - sOld
+	end := s + span
+
+	for _, iv := range c.st.intervals[p] {
+		for _, d := range [3]model.Time{0, h, -h} {
+			if s < iv.end+d && iv.start+d < end {
+				return false
+			}
+		}
+	}
+	for _, other := range c.st.resv[p] {
+		for _, m := range other.Members {
+			pos := m.Start
+			if c.shifted != nil && c.shifted[m.Inst.Task] {
+				pos -= gain // sibling instance shifts along with the gain
+			}
+			w := c.ts.Task(m.Inst.Task).WCET
+			for _, d := range [3]model.Time{0, h, -h} {
+				if s < pos+w+d && pos+d < end {
+					return false
+				}
+			}
+		}
+	}
+	return true
+}
+
+// earliestConflictFree finds the smallest conflict-free start in
+// [lb, cap] on p.
+//
+// Obstacles split into two kinds. Members that shift along with the
+// candidate's gain keep a constant offset relative to the candidate, so
+// their conflict status is independent of s: one check decides
+// feasibility for every s. Fixed obstacles (moved intervals and
+// non-shifting reservations) admit the classic jump-to-the-end search.
+func (c *pctx) earliestConflictFree(p arch.ProcID, lb, cap model.Time) (model.Time, bool) {
+	h := c.ts.HyperPeriod()
+	sOld := c.bl.Start()
+	span := c.bl.End(c.ts) - sOld
+
+	// Relative (shift-along) obstacles: evaluate once at s = sOld.
+	if c.shifted != nil {
+		for _, other := range c.st.resv[p] {
+			for _, m := range other.Members {
+				if !c.shifted[m.Inst.Task] {
+					continue
+				}
+				w := c.ts.Task(m.Inst.Task).WCET
+				for _, d := range [3]model.Time{0, h, -h} {
+					if sOld < m.Start+w+d && m.Start+d < sOld+span {
+						return 0, false // constant-offset collision at every s
+					}
+				}
+			}
+		}
+	}
+
+	// Fixed obstacles: jump search.
+	s := lb
+	for s <= cap {
+		bumped := false
+		bump := func(start, end model.Time) {
+			for _, d := range [3]model.Time{0, h, -h} {
+				if s < end+d && start+d < s+span && end+d > s {
+					s = end + d
+					bumped = true
+				}
+			}
+		}
+		for _, iv := range c.st.intervals[p] {
+			bump(iv.start, iv.end)
+		}
+		for _, other := range c.st.resv[p] {
+			for _, m := range other.Members {
+				if c.shifted != nil && c.shifted[m.Inst.Task] {
+					continue
+				}
+				bump(m.Start, m.Start+c.ts.Task(m.Inst.Task).WCET)
+			}
+		}
+		if !bumped {
+			return s, true
+		}
+	}
+	return 0, false
+}
+
+// propagationCap bounds the gain of a first-category block so that every
+// later-instance member it would shift stays feasible where it currently
+// sits: producers that do not shift must still complete in time
+// (optimistically assuming eventual co-location, as the paper's step 6
+// does, or conservatively with +C in the safe pass), and the shifted
+// member must not slide into its unshifted left neighbours (moved
+// intervals or other reservations on its processor).
+func (c *pctx) propagationCap() model.Time {
+	if c.bl.Category != 1 {
+		return 0
+	}
+	h := c.ts.HyperPeriod()
+	cap := h // effectively unbounded
+
+	seen := make(map[int]bool)
+	for task := range c.shifted {
+		for _, other := range c.st.taskBlocks[task] {
+			if other == c.bl || c.processed[other.ID] || seen[other.ID] {
+				continue
+			}
+			seen[other.ID] = true
+			for _, m := range other.Members {
+				if !c.shifted[m.Inst.Task] {
+					continue
+				}
+				// Producer completion constraints.
+				for _, src := range model.InstanceDeps(c.ts, m.Inst.Task, m.Inst.K) {
+					if c.shifted[src.Task] {
+						continue // shifts by the same amount
+					}
+					end := memberEnd(c.ts, c.owner[src], src)
+					if c.conservative {
+						end += c.ar.CommTime
+					}
+					if g := m.Start - end; g < cap {
+						cap = g
+					}
+				}
+				// Non-overlap against unshifted left neighbours on the same
+				// processor (direct and wrapped images).
+				mEnd := m.Start + c.ts.Task(m.Inst.Task).WCET
+				for _, iv := range c.st.intervals[other.Proc] {
+					for _, d := range [3]model.Time{0, h, -h} {
+						if iv.end+d <= m.Start {
+							if g := m.Start - (iv.end + d); g < cap {
+								cap = g
+							}
+						} else if iv.start+d < mEnd && m.Start < iv.end+d {
+							cap = 0 // already touching; no room to shift
+						}
+					}
+				}
+				for _, nb := range c.st.resv[other.Proc] {
+					if nb == c.bl {
+						continue
+					}
+					for _, nm := range nb.Members {
+						if c.shifted[nm.Inst.Task] {
+							continue // shifts along; relative distance preserved
+						}
+						if nb == other && nm.Inst == m.Inst {
+							continue
+						}
+						nEnd := nm.Start + c.ts.Task(nm.Inst.Task).WCET
+						for _, d := range [3]model.Time{0, h, -h} {
+							if nEnd+d <= m.Start {
+								if g := m.Start - (nEnd + d); g < cap {
+									cap = g
+								}
+							}
+						}
+					}
+				}
+			}
+		}
+	}
+	if cap < 0 {
+		cap = 0
+	}
+	return cap
+}

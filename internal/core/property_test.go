@@ -1,0 +1,161 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// miniSystem builds a small random strict-periodic system directly from a
+// byte seed vector (no generator package), so testing/quick can shrink
+// counterexamples meaningfully.
+func miniSystem(raw []byte) (*model.TaskSet, bool) {
+	if len(raw) < 4 {
+		return nil, false
+	}
+	n := 2 + int(raw[0]%6)
+	periods := []model.Time{4, 8, 16}
+	ts := model.NewTaskSet()
+	rng := rand.New(rand.NewSource(int64(raw[1])<<8 | int64(raw[2])))
+	for i := 0; i < n; i++ {
+		p := periods[rng.Intn(len(periods))]
+		w := model.Time(rng.Intn(int(p/2))) + 1
+		m := model.Mem(rng.Intn(6)) + 1
+		if _, err := ts.AddTask(taskName(i), p, w, m); err != nil {
+			return nil, false
+		}
+	}
+	for j := 1; j < n; j++ {
+		for i := 0; i < j; i++ {
+			if rng.Float64() < 0.35 {
+				ti := ts.Task(model.TaskID(i)).Period
+				tj := ts.Task(model.TaskID(j)).Period
+				if model.Harmonic(ti, tj) {
+					_ = ts.AddDependence(model.TaskID(i), model.TaskID(j), 1)
+				}
+			}
+		}
+	}
+	if err := ts.Freeze(); err != nil {
+		return nil, false
+	}
+	return ts, true
+}
+
+func taskName(i int) string { return string(rune('a'+i%26)) + string(rune('0'+i/26)) }
+
+// Property: for every schedulable mini system, the balanced schedule is
+// valid, never slower, and conserves all instances.
+func TestPropertyBalancerSoundness(t *testing.T) {
+	f := func(raw []byte) bool {
+		ts, ok := miniSystem(raw)
+		if !ok {
+			return true
+		}
+		ar := arch.MustNew(3, 1)
+		s, err := sched.NewScheduler(ts, ar).Run()
+		if err != nil {
+			return true // unschedulable instance: vacuously fine
+		}
+		is := sched.FromSchedule(s)
+		res, err := (&Balancer{}).Run(is)
+		if err != nil {
+			return false
+		}
+		if res.Forced > 0 {
+			// The two-pass strategy should eliminate forced blocks; a
+			// forced block on a conservative pass is a soundness failure.
+			return false
+		}
+		if res.MakespanAfter > res.MakespanBefore {
+			return false
+		}
+		if len(res.Schedule.Validate()) > 0 {
+			return false
+		}
+		count := 0
+		for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
+			count += len(res.Schedule.InstancesOn(p))
+		}
+		return count == ts.TotalInstances()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: block construction partitions the instances and every block
+// is internally dependence-connected on one processor.
+func TestPropertyBlocksPartition(t *testing.T) {
+	f := func(raw []byte) bool {
+		ts, ok := miniSystem(raw)
+		if !ok {
+			return true
+		}
+		ar := arch.MustNew(3, 1)
+		s, err := sched.NewScheduler(ts, ar).Run()
+		if err != nil {
+			return true
+		}
+		is := sched.FromSchedule(s)
+		res, err := (&Balancer{}).Run(is)
+		if err != nil {
+			return false
+		}
+		seen := make(map[model.InstanceID]int)
+		for _, bl := range res.Blocks {
+			for _, m := range bl.Members {
+				seen[m.Inst]++
+			}
+		}
+		if len(seen) != ts.TotalInstances() {
+			return false
+		}
+		for _, c := range seen {
+			if c != 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: balancing is monotone in memory imbalance on average — we
+// cannot assert per-instance improvement (the heuristic is greedy), but
+// the maximum memory must never exceed the pre-balance total on one
+// processor, and the memory vector must conserve the total.
+func TestPropertyMemoryConservation(t *testing.T) {
+	f := func(raw []byte) bool {
+		ts, ok := miniSystem(raw)
+		if !ok {
+			return true
+		}
+		ar := arch.MustNew(3, 1)
+		s, err := sched.NewScheduler(ts, ar).Run()
+		if err != nil {
+			return true
+		}
+		res, err := (&Balancer{}).Run(sched.FromSchedule(s))
+		if err != nil {
+			return false
+		}
+		var before, after model.Mem
+		for _, v := range res.MemBefore {
+			before += v
+		}
+		for _, v := range res.MemAfter {
+			after += v
+		}
+		return before == after
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,150 @@
+// Package gen synthesises random multi-period task systems with the
+// structural properties the paper assumes (§4): a small set of harmonic
+// periods imposed by sensors/actuators, dependence edges only between
+// tasks at the same or multiple periods, and per-task memory amounts.
+// It substitutes for the industrial applications ("several thousands of
+// tasks and tens of processors") the authors could not publish.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/model"
+)
+
+// Config parameterises one random system.
+type Config struct {
+	Seed int64
+
+	Tasks int // number of tasks, ≥ 1
+
+	// Periods is the harmonic period ladder tasks draw from, e.g.
+	// {10, 20, 40}. Defaults to {10, 20, 40, 80} when empty. Every entry
+	// must divide or be divided by every other (harmonic set).
+	Periods []model.Time
+
+	// Utilization is the target ΣEi/Ti. WCETs are drawn UUniFast-style so
+	// the total utilisation is close to this value. Default 2.0 (enough
+	// work for a handful of processors).
+	Utilization float64
+
+	// EdgeProb is the probability of adding a dependence from an earlier
+	// task to a later one when their periods are harmonic (chains form the
+	// blocks the heuristic moves). Default 0.3.
+	EdgeProb float64
+
+	// MaxInDegree bounds producers per task. Default 3.
+	MaxInDegree int
+
+	// MemMin, MemMax bound per-task memory, drawn uniformly. Defaults 1, 8.
+	MemMin, MemMax model.Mem
+}
+
+func (c *Config) fill() {
+	if len(c.Periods) == 0 {
+		c.Periods = []model.Time{10, 20, 40, 80}
+	}
+	if c.Utilization == 0 {
+		c.Utilization = 2.0
+	}
+	if c.EdgeProb == 0 {
+		c.EdgeProb = 0.3
+	}
+	if c.MaxInDegree == 0 {
+		c.MaxInDegree = 3
+	}
+	if c.MemMin == 0 {
+		c.MemMin = 1
+	}
+	if c.MemMax == 0 {
+		c.MemMax = 8
+	}
+}
+
+// Generate builds a frozen random task set from the configuration.
+func Generate(cfg Config) (*model.TaskSet, error) {
+	cfg.fill()
+	if cfg.Tasks < 1 {
+		return nil, fmt.Errorf("gen: need at least one task")
+	}
+	for i, p := range cfg.Periods {
+		for _, q := range cfg.Periods[:i] {
+			if !model.Harmonic(p, q) {
+				return nil, fmt.Errorf("gen: periods %d and %d are not harmonic", p, q)
+			}
+		}
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// UUniFast utilisation split (Bini & Buttazzo): generates n task
+	// utilisations summing to U, uniformly over the simplex.
+	utils := uuniFast(rng, cfg.Tasks, cfg.Utilization)
+
+	ts := model.NewTaskSet()
+	periods := make([]model.Time, cfg.Tasks)
+	for i := 0; i < cfg.Tasks; i++ {
+		t := cfg.Periods[rng.Intn(len(cfg.Periods))]
+		periods[i] = t
+		wcet := model.Time(float64(t) * utils[i])
+		if wcet < 1 {
+			wcet = 1
+		}
+		if wcet > t {
+			wcet = t
+		}
+		mem := cfg.MemMin + model.Mem(rng.Int63n(int64(cfg.MemMax-cfg.MemMin+1)))
+		if _, err := ts.AddTask(fmt.Sprintf("t%03d", i), t, wcet, mem); err != nil {
+			return nil, err
+		}
+	}
+
+	// Dependences: earlier → later (acyclic by construction), harmonic
+	// periods only, bounded in-degree.
+	indeg := make([]int, cfg.Tasks)
+	for j := 1; j < cfg.Tasks; j++ {
+		for i := 0; i < j; i++ {
+			if indeg[j] >= cfg.MaxInDegree {
+				break
+			}
+			if !model.Harmonic(periods[i], periods[j]) {
+				continue
+			}
+			if rng.Float64() >= cfg.EdgeProb {
+				continue
+			}
+			data := 1 + model.Mem(rng.Int63n(3))
+			if err := ts.AddDependence(model.TaskID(i), model.TaskID(j), data); err != nil {
+				return nil, err
+			}
+			indeg[j]++
+		}
+	}
+	if err := ts.Freeze(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}
+
+// MustGenerate is Generate that panics on error.
+func MustGenerate(cfg Config) *model.TaskSet {
+	ts, err := Generate(cfg)
+	if err != nil {
+		panic(err)
+	}
+	return ts
+}
+
+// uuniFast draws n utilisations summing to total.
+func uuniFast(rng *rand.Rand, n int, total float64) []float64 {
+	out := make([]float64, n)
+	sum := total
+	for i := 0; i < n-1; i++ {
+		next := sum * math.Pow(rng.Float64(), 1/float64(n-i-1))
+		out[i] = sum - next
+		sum = next
+	}
+	out[n-1] = sum
+	return out
+}

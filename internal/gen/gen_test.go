@@ -1,0 +1,105 @@
+package gen
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestGenerateDeterministic(t *testing.T) {
+	a := MustGenerate(Config{Seed: 42, Tasks: 25})
+	b := MustGenerate(Config{Seed: 42, Tasks: 25})
+	if a.Len() != b.Len() {
+		t.Fatal("same seed, different sizes")
+	}
+	for i := 0; i < a.Len(); i++ {
+		ta, tb := a.Task(model.TaskID(i)), b.Task(model.TaskID(i))
+		if ta != tb {
+			t.Fatalf("task %d differs: %+v vs %+v", i, ta, tb)
+		}
+	}
+	da, db := a.Dependences(), b.Dependences()
+	if len(da) != len(db) {
+		t.Fatal("same seed, different edge counts")
+	}
+}
+
+func TestGenerateDifferentSeedsDiffer(t *testing.T) {
+	a := MustGenerate(Config{Seed: 1, Tasks: 25})
+	b := MustGenerate(Config{Seed: 2, Tasks: 25})
+	same := true
+	for i := 0; i < a.Len() && same; i++ {
+		if a.Task(model.TaskID(i)) != b.Task(model.TaskID(i)) {
+			same = false
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical systems")
+	}
+}
+
+func TestGenerateRespectsBounds(t *testing.T) {
+	cfg := Config{Seed: 9, Tasks: 60, MemMin: 2, MemMax: 5, Utilization: 3}
+	ts := MustGenerate(cfg)
+	if ts.Len() != 60 {
+		t.Fatalf("got %d tasks", ts.Len())
+	}
+	periods := map[model.Time]bool{}
+	for _, tk := range ts.Tasks() {
+		if tk.Mem < 2 || tk.Mem > 5 {
+			t.Errorf("task %s memory %d outside [2,5]", tk.Name, tk.Mem)
+		}
+		if tk.WCET < 1 || tk.WCET > tk.Period {
+			t.Errorf("task %s WCET %d invalid for period %d", tk.Name, tk.WCET, tk.Period)
+		}
+		periods[tk.Period] = true
+	}
+	for p := range periods {
+		found := false
+		for _, q := range []model.Time{10, 20, 40, 80} {
+			if p == q {
+				found = true
+			}
+		}
+		if !found {
+			t.Errorf("period %d not from the default ladder", p)
+		}
+	}
+}
+
+func TestGenerateEdgesHarmonicAndBounded(t *testing.T) {
+	ts := MustGenerate(Config{Seed: 3, Tasks: 50, EdgeProb: 0.5, MaxInDegree: 2})
+	indeg := map[model.TaskID]int{}
+	for _, d := range ts.Dependences() {
+		if !model.Harmonic(ts.Task(d.Src).Period, ts.Task(d.Dst).Period) {
+			t.Errorf("edge %d→%d not harmonic", d.Src, d.Dst)
+		}
+		if d.Src >= d.Dst {
+			t.Errorf("edge %d→%d not forward (acyclicity by construction)", d.Src, d.Dst)
+		}
+		indeg[d.Dst]++
+	}
+	for id, n := range indeg {
+		if n > 2 {
+			t.Errorf("task %d in-degree %d > 2", id, n)
+		}
+	}
+}
+
+func TestGenerateRejectsBadConfig(t *testing.T) {
+	if _, err := Generate(Config{Tasks: 0}); err == nil {
+		t.Error("zero tasks accepted")
+	}
+	if _, err := Generate(Config{Tasks: 3, Periods: []model.Time{10, 15}}); err == nil {
+		t.Error("non-harmonic period ladder accepted")
+	}
+}
+
+func TestGenerateUtilizationRoughlyMet(t *testing.T) {
+	ts := MustGenerate(Config{Seed: 8, Tasks: 30, Utilization: 3})
+	u := ts.Utilization()
+	// WCET flooring inflates tiny shares; accept a generous band.
+	if u < 2 || u > 6 {
+		t.Errorf("utilization %v too far from target 3", u)
+	}
+}

@@ -1,0 +1,76 @@
+// Package metrics computes the evaluation quantities used across the
+// experiments: load-balance indices, memory spread, and before/after
+// summaries of balancing runs.
+package metrics
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/model"
+)
+
+// Summary captures the quality of one distribution.
+type Summary struct {
+	Makespan   model.Time
+	MaxMem     model.Mem
+	MemVector  []model.Mem
+	MemImbal   float64 // max/mean memory ratio (1.0 = perfectly even)
+	LoadVector []model.Time
+	LoadImbal  float64 // max/mean busy-time ratio
+	IdleRatio  float64
+}
+
+// MemImbalance returns max/mean of the vector; 1 means perfectly even, 0
+// for an empty or all-zero vector.
+func MemImbalance(v []model.Mem) float64 {
+	var sum, max model.Mem
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 || len(v) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(v))
+	return float64(max) / mean
+}
+
+// LoadImbalance returns max/mean of the busy-time vector.
+func LoadImbalance(v []model.Time) float64 {
+	var sum, max model.Time
+	for _, x := range v {
+		sum += x
+		if x > max {
+			max = x
+		}
+	}
+	if sum == 0 || len(v) == 0 {
+		return 0
+	}
+	mean := float64(sum) / float64(len(v))
+	return float64(max) / mean
+}
+
+// MaxMem returns the maximum entry.
+func MaxMem(v []model.Mem) model.Mem {
+	var m model.Mem
+	for _, x := range v {
+		if x > m {
+			m = x
+		}
+	}
+	return m
+}
+
+// FormatMemVector renders a memory vector in the paper's style:
+// "[P1: 10, P2: 6, P3: 8]".
+func FormatMemVector(v []model.Mem) string {
+	parts := make([]string, len(v))
+	for i, x := range v {
+		parts[i] = fmt.Sprintf("P%d: %d", i+1, x)
+	}
+	return "[" + strings.Join(parts, ", ") + "]"
+}

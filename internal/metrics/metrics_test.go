@@ -1,0 +1,48 @@
+package metrics
+
+import (
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestMemImbalance(t *testing.T) {
+	if got := MemImbalance([]model.Mem{10, 10, 10}); got != 1 {
+		t.Errorf("even vector imbalance = %v, want 1", got)
+	}
+	if got := MemImbalance([]model.Mem{30, 0, 0}); got != 3 {
+		t.Errorf("concentrated vector imbalance = %v, want 3", got)
+	}
+	if got := MemImbalance(nil); got != 0 {
+		t.Errorf("empty vector imbalance = %v, want 0", got)
+	}
+	if got := MemImbalance([]model.Mem{0, 0}); got != 0 {
+		t.Errorf("zero vector imbalance = %v, want 0", got)
+	}
+}
+
+func TestLoadImbalance(t *testing.T) {
+	if got := LoadImbalance([]model.Time{4, 4}); got != 1 {
+		t.Errorf("even loads = %v, want 1", got)
+	}
+	if got := LoadImbalance([]model.Time{8, 0}); got != 2 {
+		t.Errorf("one-sided loads = %v, want 2", got)
+	}
+}
+
+func TestMaxMem(t *testing.T) {
+	if got := MaxMem([]model.Mem{3, 9, 1}); got != 9 {
+		t.Errorf("MaxMem = %d, want 9", got)
+	}
+	if got := MaxMem(nil); got != 0 {
+		t.Errorf("MaxMem(nil) = %d, want 0", got)
+	}
+}
+
+func TestFormatMemVector(t *testing.T) {
+	got := FormatMemVector([]model.Mem{10, 6, 8})
+	want := "[P1: 10, P2: 6, P3: 8]"
+	if got != want {
+		t.Errorf("FormatMemVector = %q, want %q", got, want)
+	}
+}

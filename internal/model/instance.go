@@ -1,0 +1,63 @@
+package model
+
+import "fmt"
+
+// InstanceID identifies one instance (repetition) of a task within the
+// hyper-period: the task plus the repetition index K ∈ [0, H/T).
+type InstanceID struct {
+	Task TaskID
+	K    int
+}
+
+// String renders the id as "name#k" style "t3#1" using only the numeric
+// task id (names live in the TaskSet).
+func (iid InstanceID) String() string { return fmt.Sprintf("t%d#%d", int(iid.Task), iid.K) }
+
+// ExpandInstances lists every instance of every task within one
+// hyper-period, in (task, k) order. The slice has ts.TotalInstances()
+// entries. Valid after Freeze.
+func ExpandInstances(ts *TaskSet) []InstanceID {
+	out := make([]InstanceID, 0, ts.TotalInstances())
+	for i := 0; i < ts.Len(); i++ {
+		id := TaskID(i)
+		for k := 0; k < ts.Instances(id); k++ {
+			out = append(out, InstanceID{Task: id, K: k})
+		}
+	}
+	return out
+}
+
+// InstanceStart returns the start time of instance k of a task whose first
+// instance starts at s0: strict periodicity pins it to s0 + k·T.
+func InstanceStart(s0 Time, period Time, k int) Time {
+	return s0 + Time(k)*period
+}
+
+// InstanceDeps enumerates the producer instances that must complete before
+// instance (dst, k) may start, under the paper's multi-rate semantics:
+//
+//   - same period: producer instance k feeds consumer instance k;
+//   - producer faster (Tc = n·Tp): producer instances k·n .. k·n+n-1 all
+//     feed consumer instance k (the consumer needs the n data, fig. 1);
+//   - producer slower (Tp = n·Tc): producer instance floor(k/n) feeds
+//     consumer instance k (each datum is consumed n times).
+func InstanceDeps(ts *TaskSet, dst TaskID, k int) []InstanceID {
+	var out []InstanceID
+	tc := ts.Task(dst).Period
+	for _, src := range ts.Predecessors(dst) {
+		tp := ts.Task(src).Period
+		switch {
+		case tp == tc:
+			out = append(out, InstanceID{Task: src, K: k})
+		case tc%tp == 0: // producer faster
+			n := int(tc / tp)
+			for j := 0; j < n; j++ {
+				out = append(out, InstanceID{Task: src, K: k*n + j})
+			}
+		case tp%tc == 0: // producer slower
+			n := int(tp / tc)
+			out = append(out, InstanceID{Task: src, K: k / n})
+		}
+	}
+	return out
+}

@@ -1,0 +1,80 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+)
+
+// taskJSON is the on-disk form of one task.
+type taskJSON struct {
+	Name   string `json:"name"`
+	Period Time   `json:"period"`
+	WCET   Time   `json:"wcet"`
+	Mem    Mem    `json:"mem"`
+}
+
+// depJSON is the on-disk form of one dependence (by task name).
+type depJSON struct {
+	Src  string `json:"src"`
+	Dst  string `json:"dst"`
+	Data Mem    `json:"data,omitempty"`
+}
+
+// setJSON is the on-disk form of a task set.
+type setJSON struct {
+	Tasks []taskJSON `json:"tasks"`
+	Deps  []depJSON  `json:"deps,omitempty"`
+}
+
+// WriteJSON serialises the task set (tasks and dependences, by name).
+func WriteJSON(w io.Writer, ts *TaskSet) error {
+	var out setJSON
+	for _, t := range ts.Tasks() {
+		out.Tasks = append(out.Tasks, taskJSON{Name: t.Name, Period: t.Period, WCET: t.WCET, Mem: t.Mem})
+	}
+	for _, d := range ts.Dependences() {
+		out.Deps = append(out.Deps, depJSON{
+			Src:  ts.Task(d.Src).Name,
+			Dst:  ts.Task(d.Dst).Name,
+			Data: d.Data,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(out)
+}
+
+// ReadJSON parses a task set written by WriteJSON and returns it frozen.
+func ReadJSON(r io.Reader) (*TaskSet, error) {
+	var in setJSON
+	if err := json.NewDecoder(r).Decode(&in); err != nil {
+		return nil, fmt.Errorf("model: ReadJSON: %w", err)
+	}
+	ts := NewTaskSet()
+	ids := make(map[string]TaskID, len(in.Tasks))
+	for _, t := range in.Tasks {
+		id, err := ts.AddTask(t.Name, t.Period, t.WCET, t.Mem)
+		if err != nil {
+			return nil, err
+		}
+		ids[t.Name] = id
+	}
+	for _, d := range in.Deps {
+		src, ok := ids[d.Src]
+		if !ok {
+			return nil, fmt.Errorf("model: ReadJSON: unknown task %q in dependence", d.Src)
+		}
+		dst, ok := ids[d.Dst]
+		if !ok {
+			return nil, fmt.Errorf("model: ReadJSON: unknown task %q in dependence", d.Dst)
+		}
+		if err := ts.AddDependence(src, dst, d.Data); err != nil {
+			return nil, err
+		}
+	}
+	if err := ts.Freeze(); err != nil {
+		return nil, err
+	}
+	return ts, nil
+}

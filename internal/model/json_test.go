@@ -1,0 +1,48 @@
+package model
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestJSONRoundTrip(t *testing.T) {
+	ts := NewTaskSet()
+	a := ts.MustAddTask("a", 3, 1, 4)
+	b := ts.MustAddTask("b", 6, 1, 1)
+	ts.MustAddDependence(a, b, 2)
+	ts.MustFreeze()
+
+	var buf bytes.Buffer
+	if err := WriteJSON(&buf, ts); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadJSON(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 2 || got.HyperPeriod() != 6 {
+		t.Fatalf("round trip lost structure: len=%d H=%d", got.Len(), got.HyperPeriod())
+	}
+	ta, _ := got.ByName("a")
+	if ta.Period != 3 || ta.WCET != 1 || ta.Mem != 4 {
+		t.Errorf("task a = %+v", ta)
+	}
+	tb, _ := got.ByName("b")
+	if d, ok := got.DependenceData(ta.ID, tb.ID); !ok || d != 2 {
+		t.Errorf("dependence data = %d, %v", d, ok)
+	}
+}
+
+func TestReadJSONRejectsUnknownTask(t *testing.T) {
+	in := `{"tasks":[{"name":"a","period":3,"wcet":1,"mem":1}],"deps":[{"src":"a","dst":"ghost"}]}`
+	if _, err := ReadJSON(strings.NewReader(in)); err == nil {
+		t.Fatal("unknown dependence endpoint accepted")
+	}
+}
+
+func TestReadJSONRejectsGarbage(t *testing.T) {
+	if _, err := ReadJSON(strings.NewReader("not json")); err == nil {
+		t.Fatal("garbage accepted")
+	}
+}

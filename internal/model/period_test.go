@@ -1,0 +1,96 @@
+package model
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestGCDLCMBasics(t *testing.T) {
+	cases := []struct{ a, b, gcd, lcm Time }{
+		{3, 6, 3, 6},
+		{4, 6, 2, 12},
+		{7, 13, 1, 91},
+		{0, 5, 5, 0},
+		{5, 0, 5, 0},
+		{12, 12, 12, 12},
+		{-4, 6, 2, 12},
+	}
+	for _, c := range cases {
+		if g := GCD(c.a, c.b); g != c.gcd {
+			t.Errorf("GCD(%d,%d) = %d, want %d", c.a, c.b, g, c.gcd)
+		}
+		if l := LCM(c.a, c.b); l != c.lcm {
+			t.Errorf("LCM(%d,%d) = %d, want %d", c.a, c.b, l, c.lcm)
+		}
+	}
+}
+
+func TestLCMAll(t *testing.T) {
+	if l := LCMAll(3, 6, 12); l != 12 {
+		t.Errorf("LCMAll(3,6,12) = %d, want 12", l)
+	}
+	if l := LCMAll(); l != 0 {
+		t.Errorf("LCMAll() = %d, want 0", l)
+	}
+	if l := LCMAll(4, 6); l != 12 {
+		t.Errorf("LCMAll(4,6) = %d, want 12", l)
+	}
+}
+
+func TestHarmonic(t *testing.T) {
+	cases := []struct {
+		a, b Time
+		want bool
+	}{
+		{3, 6, true}, {6, 3, true}, {5, 5, true},
+		{4, 6, false}, {0, 3, false}, {3, 0, false}, {-3, 6, false},
+	}
+	for _, c := range cases {
+		if got := Harmonic(c.a, c.b); got != c.want {
+			t.Errorf("Harmonic(%d,%d) = %v, want %v", c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestRateRatio(t *testing.T) {
+	cases := []struct {
+		tp, tc Time
+		want   int
+	}{
+		{3, 12, 4}, // consumer 4× slower: needs 4 data (figure 1, n=4)
+		{3, 3, 1},  // same rate
+		{12, 3, 1}, // producer slower: one datum reused
+		{5, 7, 1},  // non-harmonic degenerates to 1
+	}
+	for _, c := range cases {
+		if got := RateRatio(c.tp, c.tc); got != c.want {
+			t.Errorf("RateRatio(%d,%d) = %d, want %d", c.tp, c.tc, got, c.want)
+		}
+	}
+}
+
+// Property: GCD divides both arguments and LCM is a common multiple, for
+// positive inputs.
+func TestGCDLCMProperties(t *testing.T) {
+	f := func(a0, b0 uint16) bool {
+		a, b := Time(a0%1000)+1, Time(b0%1000)+1
+		g := GCD(a, b)
+		l := LCM(a, b)
+		return g > 0 && a%g == 0 && b%g == 0 && l%a == 0 && l%b == 0 && g*l == a*b
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: the instance k of a strictly periodic task starts exactly k
+// periods after the first instance.
+func TestInstanceStartProperty(t *testing.T) {
+	f := func(s0 uint16, period0 uint8, k0 uint8) bool {
+		s, p, k := Time(s0), Time(period0)+1, int(k0%64)
+		return InstanceStart(s, p, k) == s+Time(k)*p
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,102 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// LPT is the longest-processing-time greedy: items in decreasing
+// execution time, each to the currently least busy processor. It is the
+// classic memory-oblivious load balancer (Graham's 4/3 − 1/3M bound) and
+// serves as the ablation baseline: good makespan spread, no memory
+// awareness.
+func LPT(items []Item, m int) Assignment {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := items[order[i]], items[order[j]]
+		if a.Exec != b.Exec {
+			return a.Exec > b.Exec
+		}
+		return order[i] < order[j]
+	})
+	out := make(Assignment, len(items))
+	loads := make([]model.Time, m)
+	for _, idx := range order {
+		p := 0
+		for q := 1; q < m; q++ {
+			if loads[q] < loads[p] {
+				p = q
+			}
+		}
+		out[idx] = p
+		loads[p] += items[idx].Exec
+	}
+	return out
+}
+
+// MemBalance is the memory-balancing-only baseline (the §2 "Memory
+// Balancing" notion, after Cellular Disco): greedy least-memory
+// assignment in decreasing memory order followed by a hill-climbing pass
+// that keeps moving an item from the memory-max processor to the
+// memory-min processor while that lowers the maximum. Load is ignored
+// entirely.
+func MemBalance(items []Item, m int) Assignment {
+	order := make([]int, len(items))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		a, b := items[order[i]], items[order[j]]
+		if a.Mem != b.Mem {
+			return a.Mem > b.Mem
+		}
+		return order[i] < order[j]
+	})
+	out := make(Assignment, len(items))
+	mems := make([]model.Mem, m)
+	for _, idx := range order {
+		p := 0
+		for q := 1; q < m; q++ {
+			if mems[q] < mems[p] {
+				p = q
+			}
+		}
+		out[idx] = p
+		mems[p] += items[idx].Mem
+	}
+
+	// Hill climbing: max → min moves.
+	for iter := 0; iter < 4*len(items); iter++ {
+		hi, lo := 0, 0
+		for q := 1; q < m; q++ {
+			if mems[q] > mems[hi] {
+				hi = q
+			}
+			if mems[q] < mems[lo] {
+				lo = q
+			}
+		}
+		improved := false
+		for i := range out {
+			if out[i] != hi {
+				continue
+			}
+			w := items[i].Mem
+			if mems[lo]+w < mems[hi] { // strictly lowers the maximum side
+				out[i] = lo
+				mems[hi] -= w
+				mems[lo] += w
+				improved = true
+				break
+			}
+		}
+		if !improved {
+			break
+		}
+	}
+	return out
+}

@@ -1,0 +1,82 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/model"
+)
+
+func TestFFDFitsWhenPossible(t *testing.T) {
+	its := items(4, 4, 4, 4)
+	a, ok := FFD(its, 2, 8)
+	if !ok {
+		t.Fatal("FFD failed on a trivially packable input")
+	}
+	if err := a.Validate(its, 2); err != nil {
+		t.Fatal(err)
+	}
+	for _, l := range a.Mems(its, 2) {
+		if l > 8 {
+			t.Errorf("bin over capacity: %d", l)
+		}
+	}
+}
+
+func TestFFDFailsWhenImpossible(t *testing.T) {
+	if _, ok := FFD(items(5, 5, 5), 2, 5); !ok {
+		// {5},{5},{5} needs 3 bins of capacity 5.
+		return
+	}
+	t.Fatal("FFD packed 15 units into 2×5")
+}
+
+func TestMultiFitMatchesOptimalOnSmallInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	worst := 1.0
+	for trial := 0; trial < 50; trial++ {
+		n := 3 + rng.Intn(7)
+		m := 2 + rng.Intn(3)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Mem: model.Mem(1 + rng.Intn(12))}
+		}
+		_, got := MultiFit(its, m)
+		opt := bruteForceMaxMem(its, m)
+		r := float64(got) / float64(opt)
+		if r > worst {
+			worst = r
+		}
+		// MULTIFIT's guarantee is 13/11 ≈ 1.1818.
+		if r > 13.0/11.0+1e-9 {
+			t.Fatalf("trial %d: MULTIFIT ratio %.4f exceeds 13/11 (got %d, opt %d)", trial, r, got, opt)
+		}
+	}
+	t.Logf("worst observed MULTIFIT ratio: %.4f (bound 13/11 ≈ 1.1818)", worst)
+}
+
+func TestMultiFitNeverBelowLowerBound(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		n := 2 + rng.Intn(10)
+		m := 2 + rng.Intn(4)
+		its := make([]Item, n)
+		var total, largest model.Mem
+		for i := range its {
+			w := model.Mem(1 + rng.Intn(20))
+			its[i] = Item{Mem: w}
+			total += w
+			if w > largest {
+				largest = w
+			}
+		}
+		_, got := MultiFit(its, m)
+		lower := (total + model.Mem(m) - 1) / model.Mem(m)
+		if largest > lower {
+			lower = largest
+		}
+		if got < lower {
+			t.Fatalf("trial %d: MULTIFIT %d below the information-theoretic lower bound %d", trial, got, lower)
+		}
+	}
+}

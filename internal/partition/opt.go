@@ -1,0 +1,141 @@
+package partition
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// OptimalMaxMem computes, by branch and bound, the assignment minimising
+// the maximum per-processor memory (the ωopt of Theorem 2). Exponential in
+// the worst case; intended for small instances (≤ ~20 items). The search
+// uses the classic multiprocessor-partitioning pruning set:
+//
+//   - items are placed in decreasing weight order;
+//   - a branch is cut when its partial maximum already reaches the
+//     incumbent;
+//   - processors with equal load are interchangeable, so only the first
+//     of each equal-load group is branched on (symmetry breaking);
+//   - the lower bound max(largest item, ⌈total/M⌉) stops the search early
+//     when reached.
+func OptimalMaxMem(items []Item, m int) (Assignment, model.Mem) {
+	n := len(items)
+	order := make([]int, n)
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool { return items[order[i]].Mem > items[order[j]].Mem })
+
+	var total, largest model.Mem
+	for _, it := range items {
+		total += it.Mem
+		if it.Mem > largest {
+			largest = it.Mem
+		}
+	}
+	lower := (total + model.Mem(m) - 1) / model.Mem(m)
+	if largest > lower {
+		lower = largest
+	}
+
+	// Incumbent: LPT-by-memory greedy.
+	best := make(Assignment, n)
+	loads := make([]model.Mem, m)
+	for _, idx := range order {
+		p := 0
+		for q := 1; q < m; q++ {
+			if loads[q] < loads[p] {
+				p = q
+			}
+		}
+		best[idx] = p
+		loads[p] += items[idx].Mem
+	}
+	bestMax := model.Mem(0)
+	for _, l := range loads {
+		if l > bestMax {
+			bestMax = l
+		}
+	}
+	if bestMax == lower {
+		return best, bestMax
+	}
+
+	cur := make(Assignment, n)
+	cload := make([]model.Mem, m)
+	var dfs func(pos int, curMax model.Mem) bool // returns true when lower bound reached
+	dfs = func(pos int, curMax model.Mem) bool {
+		if curMax >= bestMax {
+			return false
+		}
+		if pos == n {
+			bestMax = curMax
+			copy(best, cur)
+			return bestMax == lower
+		}
+		idx := order[pos]
+		w := items[idx].Mem
+		seen := make(map[model.Mem]bool, m)
+		for p := 0; p < m; p++ {
+			if seen[cload[p]] {
+				continue // symmetric to an already-tried processor
+			}
+			seen[cload[p]] = true
+			nl := cload[p] + w
+			nm := curMax
+			if nl > nm {
+				nm = nl
+			}
+			if nm >= bestMax {
+				continue
+			}
+			cload[p] = nl
+			cur[idx] = p
+			if dfs(pos+1, nm) {
+				return true
+			}
+			cload[p] -= w
+		}
+		return false
+	}
+	dfs(0, 0)
+	return best, bestMax
+}
+
+// OptimalMaxLoad is OptimalMaxMem over execution times: it minimises the
+// maximum per-processor busy time (optimal load balancing in the paper's
+// §2 sense, the NP-hard problem of ref [7]).
+func OptimalMaxLoad(items []Item, m int) (Assignment, model.Time) {
+	conv := make([]Item, len(items))
+	for i, it := range items {
+		conv[i] = Item{Mem: model.Mem(it.Exec)}
+	}
+	a, v := OptimalMaxMem(conv, m)
+	return a, model.Time(v)
+}
+
+// MinBins solves Korf-style bin packing: the minimum number of processors
+// of memory capacity cap needed to host all items, by branch and bound
+// over an increasing bin count. It returns 0 when some single item
+// exceeds the capacity.
+func MinBins(items []Item, cap model.Mem) int {
+	var total, largest model.Mem
+	for _, it := range items {
+		total += it.Mem
+		if it.Mem > largest {
+			largest = it.Mem
+		}
+	}
+	if largest > cap {
+		return 0
+	}
+	lower := int((total + cap - 1) / cap)
+	if lower == 0 {
+		lower = 1
+	}
+	for m := lower; ; m++ {
+		if _, mx := OptimalMaxMem(items, m); mx <= cap {
+			return m
+		}
+	}
+}

@@ -1,0 +1,90 @@
+// Package partition collects the assignment baselines the paper compares
+// against analytically (§2, §5): an exact branch-and-bound partitioner in
+// the style of Korf's optimal bin packing (ref [8]), the
+// longest-processing-time greedy, a memory-balancing-only heuristic in
+// the spirit of Cellular Disco (ref [12]), and a genetic-algorithm load
+// balancer after Greene (ref [9]).
+//
+// All of them work on Items: the (execution time, memory) footprint of a
+// block, abstracted away from start times. They answer the same question
+// the paper's Theorem 2 asks — how well can the blocks be spread over M
+// processors — and are used by the E5/E7 experiments as comparators.
+package partition
+
+import (
+	"fmt"
+
+	"repro/internal/blocks"
+	"repro/internal/model"
+)
+
+// Item is one unit of assignment: the busy time and memory of a block.
+type Item struct {
+	Exec model.Time
+	Mem  model.Mem
+}
+
+// FromBlocks converts blocks to items.
+func FromBlocks(bls []*blocks.Block) []Item {
+	out := make([]Item, len(bls))
+	for i, b := range bls {
+		out[i] = Item{Exec: b.Exec(), Mem: b.Mem()}
+	}
+	return out
+}
+
+// Assignment maps item index → processor index.
+type Assignment []int
+
+// Loads returns the per-processor busy-time loads of an assignment.
+func (a Assignment) Loads(items []Item, m int) []model.Time {
+	out := make([]model.Time, m)
+	for i, p := range a {
+		out[p] += items[i].Exec
+	}
+	return out
+}
+
+// Mems returns the per-processor memory of an assignment.
+func (a Assignment) Mems(items []Item, m int) []model.Mem {
+	out := make([]model.Mem, m)
+	for i, p := range a {
+		out[p] += items[i].Mem
+	}
+	return out
+}
+
+// MaxLoad returns the maximum per-processor busy time.
+func (a Assignment) MaxLoad(items []Item, m int) model.Time {
+	var mx model.Time
+	for _, l := range a.Loads(items, m) {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// MaxMem returns the maximum per-processor memory (the ω of Theorem 2).
+func (a Assignment) MaxMem(items []Item, m int) model.Mem {
+	var mx model.Mem
+	for _, l := range a.Mems(items, m) {
+		if l > mx {
+			mx = l
+		}
+	}
+	return mx
+}
+
+// Validate checks the assignment shape.
+func (a Assignment) Validate(items []Item, m int) error {
+	if len(a) != len(items) {
+		return fmt.Errorf("partition: assignment covers %d of %d items", len(a), len(items))
+	}
+	for i, p := range a {
+		if p < 0 || p >= m {
+			return fmt.Errorf("partition: item %d assigned to invalid processor %d", i, p)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,213 @@
+package partition
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func items(mems ...model.Mem) []Item {
+	out := make([]Item, len(mems))
+	for i, m := range mems {
+		out[i] = Item{Exec: model.Time(m), Mem: m}
+	}
+	return out
+}
+
+func TestOptimalMaxMemSmallCases(t *testing.T) {
+	cases := []struct {
+		items []Item
+		m     int
+	}{
+		{items(4, 4, 4), 3},
+		{items(4, 4, 4), 2},
+		{items(5, 3, 3, 3), 2},
+		{items(7, 1, 1, 1, 1, 1, 1, 1), 2},
+		{items(10), 4},
+		{items(2, 2, 2, 2, 2, 2), 3},
+	}
+	for i, c := range cases {
+		_, got := OptimalMaxMem(c.items, c.m)
+		want := bruteForceMaxMem(c.items, c.m)
+		if got != want {
+			t.Errorf("case %d: OptimalMaxMem = %d, brute force = %d", i, got, want)
+		}
+	}
+}
+
+// bruteForceMaxMem enumerates all assignments (small inputs only).
+func bruteForceMaxMem(its []Item, m int) model.Mem {
+	n := len(its)
+	best := model.Mem(1) << 40
+	asg := make([]int, n)
+	var rec func(i int)
+	rec = func(i int) {
+		if i == n {
+			mems := make([]model.Mem, m)
+			for j, p := range asg {
+				mems[p] += its[j].Mem
+			}
+			var mx model.Mem
+			for _, v := range mems {
+				if v > mx {
+					mx = v
+				}
+			}
+			if mx < best {
+				best = mx
+			}
+			return
+		}
+		for p := 0; p < m; p++ {
+			asg[i] = p
+			rec(i + 1)
+		}
+	}
+	rec(0)
+	return best
+}
+
+// Property: branch and bound equals brute force on random small inputs.
+func TestOptimalMatchesBruteForce(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for trial := 0; trial < 60; trial++ {
+		n := 2 + rng.Intn(7)
+		m := 2 + rng.Intn(3)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Mem: model.Mem(1 + rng.Intn(12))}
+		}
+		_, got := OptimalMaxMem(its, m)
+		want := bruteForceMaxMem(its, m)
+		if got != want {
+			t.Fatalf("trial %d: B&B %d != brute force %d (items %v, m=%d)", trial, got, want, its, m)
+		}
+	}
+}
+
+func TestOptimalLowerBoundsRespected(t *testing.T) {
+	f := func(raw []uint8, m0 uint8) bool {
+		if len(raw) == 0 || len(raw) > 10 {
+			return true
+		}
+		m := int(m0%4) + 2
+		its := make([]Item, len(raw))
+		var total, largest model.Mem
+		for i, r := range raw {
+			w := model.Mem(r%20) + 1
+			its[i] = Item{Mem: w}
+			total += w
+			if w > largest {
+				largest = w
+			}
+		}
+		_, got := OptimalMaxMem(its, m)
+		lower := (total + model.Mem(m) - 1) / model.Mem(m)
+		if largest > lower {
+			lower = largest
+		}
+		return got >= lower && got <= total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLPTBalancesLoad(t *testing.T) {
+	its := items(9, 8, 7, 6, 5, 4)
+	a := LPT(its, 3)
+	if err := a.Validate(its, 3); err != nil {
+		t.Fatal(err)
+	}
+	// LPT on {9,8,7,6,5,4} over 3: loads {9,4}, {8,5}, {7,6} → max 13 = optimal.
+	if got := a.MaxLoad(its, 3); got != 13 {
+		t.Errorf("LPT max load = %d, want 13", got)
+	}
+}
+
+func TestMemBalanceWithinGuarantee(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 40; trial++ {
+		n := 3 + rng.Intn(8)
+		m := 2 + rng.Intn(3)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Mem: model.Mem(1 + rng.Intn(15))}
+		}
+		a := MemBalance(its, m)
+		if err := a.Validate(its, m); err != nil {
+			t.Fatal(err)
+		}
+		got := a.MaxMem(its, m)
+		opt := bruteForceMaxMem(its, m)
+		// Greedy min-load with decreasing weights is within 4/3 of optimal;
+		// use the looser 2−1/M certificate here.
+		bound := float64(opt) * (2 - 1/float64(m))
+		if float64(got) > bound+1e-9 {
+			t.Errorf("trial %d: MemBalance %d exceeds (2−1/M)·opt = %.1f (opt %d)", trial, got, bound, opt)
+		}
+	}
+}
+
+func TestGANeverWorseThanSeededLPT(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for trial := 0; trial < 10; trial++ {
+		n := 5 + rng.Intn(10)
+		m := 2 + rng.Intn(3)
+		its := make([]Item, n)
+		for i := range its {
+			its[i] = Item{Exec: model.Time(1 + rng.Intn(20)), Mem: model.Mem(1 + rng.Intn(10))}
+		}
+		ga := GA(its, m, GAConfig{Seed: int64(trial), Generations: 60})
+		if err := ga.Validate(its, m); err != nil {
+			t.Fatal(err)
+		}
+		lpt := LPT(its, m)
+		if ga.MaxLoad(its, m) > lpt.MaxLoad(its, m) {
+			t.Errorf("trial %d: GA (%d) worse than its LPT seed (%d)",
+				trial, ga.MaxLoad(its, m), lpt.MaxLoad(its, m))
+		}
+	}
+}
+
+func TestMinBins(t *testing.T) {
+	cases := []struct {
+		items []Item
+		cap   model.Mem
+		want  int
+	}{
+		{items(4, 4, 4), 8, 2},
+		{items(4, 4, 4), 12, 1},
+		{items(4, 4, 4), 4, 3},
+		{items(9), 8, 0}, // item exceeds capacity
+		{items(5, 5, 5, 5), 10, 2},
+	}
+	for i, c := range cases {
+		if got := MinBins(c.items, c.cap); got != c.want {
+			t.Errorf("case %d: MinBins = %d, want %d", i, got, c.want)
+		}
+	}
+}
+
+func TestAssignmentValidate(t *testing.T) {
+	its := items(1, 2)
+	if err := (Assignment{0}).Validate(its, 2); err == nil {
+		t.Error("short assignment accepted")
+	}
+	if err := (Assignment{0, 5}).Validate(its, 2); err == nil {
+		t.Error("out-of-range processor accepted")
+	}
+	if err := (Assignment{0, 1}).Validate(its, 2); err != nil {
+		t.Errorf("valid assignment rejected: %v", err)
+	}
+}
+
+func TestOptimalMaxLoad(t *testing.T) {
+	its := []Item{{Exec: 5}, {Exec: 5}, {Exec: 5}, {Exec: 5}}
+	_, got := OptimalMaxLoad(its, 2)
+	if got != 10 {
+		t.Errorf("OptimalMaxLoad = %d, want 10", got)
+	}
+}

@@ -1,0 +1,94 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// DeriveComms computes the inter-processor communications implied by the
+// current placement and assigns each a slot on its medium. It replaces
+// any previously derived comms.
+//
+// In the default latency-only model (the paper's: C is the time between
+// the start of the send task and the completion of the receive task, with
+// no bus contention) every transfer starts as soon as its producer
+// completes and must finish by its consumer's start.
+//
+// With Architecture.ContendedMedia set, transfers on the same medium must
+// not overlap; they are packed in earliest-deadline-first order, each at
+// the earliest free slot after its producer completes. An error is
+// returned if some transfer cannot meet its consumer under either model.
+func (s *Schedule) DeriveComms() error {
+	cross := s.CrossDeps()
+	c := s.Arch.CommTime
+
+	// Deterministic EDF processing order (deadline, then ready time).
+	sort.Slice(cross, func(i, j int) bool {
+		a, b := cross[i], cross[j]
+		ad := s.InstanceStart(a.Dst.Task, a.Dst.K)
+		bd := s.InstanceStart(b.Dst.Task, b.Dst.K)
+		if ad != bd {
+			return ad < bd
+		}
+		ae := s.InstanceEnd(a.Src.Task, a.Src.K)
+		be := s.InstanceEnd(b.Src.Task, b.Src.K)
+		if ae != be {
+			return ae < be
+		}
+		if a.Src.Task != b.Src.Task {
+			return a.Src.Task < b.Src.Task
+		}
+		return a.Dst.Task < b.Dst.Task
+	})
+
+	type slot struct{ start, end model.Time }
+	busy := make(map[arch.MediumID][]slot)
+
+	s.comms = s.comms[:0]
+	for _, cm := range cross {
+		ready := s.InstanceEnd(cm.Src.Task, cm.Src.K)
+		deadline := s.InstanceStart(cm.Dst.Task, cm.Dst.K)
+		start := ready
+		if s.Arch.ContendedMedia {
+			// Shift past conflicting slots on the medium.
+			for {
+				moved := false
+				for _, sl := range busy[cm.Medium] {
+					if start < sl.end && sl.start < start+c {
+						start = sl.end
+						moved = true
+					}
+				}
+				if !moved {
+					break
+				}
+			}
+		}
+		if start+c > deadline {
+			return fmt.Errorf("sched: transfer %s→%s cannot complete by consumer start %d (ready %d, C %d, medium %s)",
+				s.instName(cm.Src), s.instName(cm.Dst), deadline, ready, c, s.Arch.MediumName(cm.Medium))
+		}
+		if s.Arch.ContendedMedia {
+			busy[cm.Medium] = append(busy[cm.Medium], slot{start, start + c})
+		}
+		cm.Start = start
+		s.comms = append(s.comms, cm)
+	}
+	return nil
+}
+
+func (s *Schedule) instName(iid model.InstanceID) string {
+	return fmt.Sprintf("%s#%d", s.TS.Task(iid.Task).Name, iid.K+1)
+}
+
+// CommLoad returns, per medium, the total busy time of derived transfers.
+func (s *Schedule) CommLoad() map[arch.MediumID]model.Time {
+	out := make(map[arch.MediumID]model.Time)
+	for _, cm := range s.comms {
+		out[cm.Medium] += s.Arch.CommTime
+	}
+	return out
+}

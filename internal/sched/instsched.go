@@ -1,0 +1,224 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// InstPlacement is the assignment of one task instance.
+type InstPlacement struct {
+	Proc  arch.ProcID
+	Start model.Time
+}
+
+// InstSchedule places every task *instance* individually: the
+// load-balancing heuristic may send different instances of the same task
+// to different processors while preserving their strictly periodic start
+// times. It is the output representation of the balancer.
+type InstSchedule struct {
+	TS   *model.TaskSet
+	Arch *arch.Architecture
+
+	place map[model.InstanceID]InstPlacement
+}
+
+// NewInstSchedule returns an empty instance-level schedule.
+func NewInstSchedule(ts *model.TaskSet, a *arch.Architecture) *InstSchedule {
+	return &InstSchedule{TS: ts, Arch: a, place: make(map[model.InstanceID]InstPlacement, ts.TotalInstances())}
+}
+
+// FromSchedule expands a task-level schedule: instance k of each task
+// inherits the task's processor and start S + k·T.
+func FromSchedule(s *Schedule) *InstSchedule {
+	is := NewInstSchedule(s.TS, s.Arch)
+	for i := 0; i < s.TS.Len(); i++ {
+		id := model.TaskID(i)
+		pl := s.Placement(id)
+		if pl.Proc == Unplaced {
+			continue
+		}
+		for k := 0; k < s.TS.Instances(id); k++ {
+			is.place[model.InstanceID{Task: id, K: k}] = InstPlacement{Proc: pl.Proc, Start: s.InstanceStart(id, k)}
+		}
+	}
+	return is
+}
+
+// Place assigns one instance.
+func (is *InstSchedule) Place(iid model.InstanceID, p arch.ProcID, start model.Time) {
+	is.place[iid] = InstPlacement{Proc: p, Start: start}
+}
+
+// Placement returns the placement of one instance and whether it is set.
+func (is *InstSchedule) Placement(iid model.InstanceID) (InstPlacement, bool) {
+	pl, ok := is.place[iid]
+	return pl, ok
+}
+
+// Clone returns a deep copy.
+func (is *InstSchedule) Clone() *InstSchedule {
+	c := NewInstSchedule(is.TS, is.Arch)
+	for k, v := range is.place {
+		c.place[k] = v
+	}
+	return c
+}
+
+// InstancesOn returns the instances on processor p sorted by start time.
+func (is *InstSchedule) InstancesOn(p arch.ProcID) []model.InstanceID {
+	var out []model.InstanceID
+	for iid, pl := range is.place {
+		if pl.Proc == p {
+			out = append(out, iid)
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := is.place[out[i]], is.place[out[j]]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		if out[i].Task != out[j].Task {
+			return out[i].Task < out[j].Task
+		}
+		return out[i].K < out[j].K
+	})
+	return out
+}
+
+// End returns the completion time of an instance.
+func (is *InstSchedule) End(iid model.InstanceID) model.Time {
+	return is.place[iid].Start + is.TS.Task(iid.Task).WCET
+}
+
+// Makespan returns the completion time of the last placed instance.
+func (is *InstSchedule) Makespan() model.Time {
+	var m model.Time
+	for iid := range is.place {
+		if e := is.End(iid); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// MemVector returns per-processor memory with the paper's per-instance
+// accounting.
+func (is *InstSchedule) MemVector() []model.Mem {
+	v := make([]model.Mem, is.Arch.Procs)
+	for iid, pl := range is.place {
+		v[pl.Proc] += is.TS.Task(iid.Task).Mem
+	}
+	return v
+}
+
+// MaxMem returns the maximum entry of MemVector (ω of Theorem 2).
+func (is *InstSchedule) MaxMem() model.Mem {
+	var m model.Mem
+	for _, v := range is.MemVector() {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// Validate checks the instance-level constraints:
+//
+//   - completeness: every instance of every task is placed;
+//   - strict periodicity: start(t,k) = start(t,0) + k·T;
+//   - non-overlap on each processor within the hyper-period window
+//     (including the wrap-around images of the repeating pattern);
+//   - precedence: producer end (+C when the two instances sit on
+//     different processors) ≤ consumer start, per instance pair;
+//   - memory capacity, per-instance accounting, when bounded.
+func (is *InstSchedule) Validate() []ValidationError {
+	var errs []ValidationError
+	add := func(kind, format string, args ...any) {
+		errs = append(errs, ValidationError{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	}
+	name := func(iid model.InstanceID) string {
+		return fmt.Sprintf("%s#%d", is.TS.Task(iid.Task).Name, iid.K+1)
+	}
+
+	for _, iid := range model.ExpandInstances(is.TS) {
+		if _, ok := is.place[iid]; !ok {
+			add("placement", "instance %s is not placed", name(iid))
+		}
+	}
+	if len(errs) > 0 {
+		return errs
+	}
+
+	for i := 0; i < is.TS.Len(); i++ {
+		id := model.TaskID(i)
+		t := is.TS.Task(id)
+		s0 := is.place[model.InstanceID{Task: id}].Start
+		if s0 < 0 {
+			add("placement", "task %q first instance starts at %d", t.Name, s0)
+		}
+		for k := 1; k < is.TS.Instances(id); k++ {
+			want := model.InstanceStart(s0, t.Period, k)
+			got := is.place[model.InstanceID{Task: id, K: k}].Start
+			if got != want {
+				add("periodicity", "%s#%d starts at %d, strict periodicity requires %d", t.Name, k+1, got, want)
+			}
+		}
+	}
+
+	h := is.TS.HyperPeriod()
+	for p := arch.ProcID(0); int(p) < is.Arch.Procs; p++ {
+		ids := is.InstancesOn(p)
+		for i := 0; i < len(ids); i++ {
+			a := ids[i]
+			as, ae := is.place[a].Start, is.End(a)
+			for j := i + 1; j < len(ids); j++ {
+				b := ids[j]
+				bs, be := is.place[b].Start, is.End(b)
+				if overlaps(as, ae, bs, be) || overlaps(as+h, ae+h, bs, be) || overlaps(as, ae, bs+h, be+h) {
+					add("overlap", "%s and %s overlap on %s", name(a), name(b), is.Arch.ProcName(p))
+				}
+			}
+		}
+	}
+
+	for i := 0; i < is.TS.Len(); i++ {
+		dst := model.TaskID(i)
+		for k := 0; k < is.TS.Instances(dst); k++ {
+			ci := model.InstanceID{Task: dst, K: k}
+			cpl := is.place[ci]
+			for _, src := range model.InstanceDeps(is.TS, dst, k) {
+				spl := is.place[src]
+				end := is.End(src)
+				if spl.Proc != cpl.Proc {
+					end += is.Arch.CommTime
+				}
+				if end > cpl.Start {
+					add("precedence", "%s (ends %d%s) not complete before %s starts at %d",
+						name(src), is.End(src), commNote(spl.Proc != cpl.Proc, is.Arch.CommTime), name(ci), cpl.Start)
+				}
+			}
+		}
+	}
+
+	if cap := is.Arch.MemCapacity; cap > 0 {
+		for p, m := range is.MemVector() {
+			if m > cap {
+				add("memory", "%s needs %d memory units, capacity %d", is.Arch.ProcName(arch.ProcID(p)), m, cap)
+			}
+		}
+	}
+	return errs
+}
+
+func commNote(cross bool, c model.Time) string {
+	if cross {
+		return fmt.Sprintf(" +C=%d", c)
+	}
+	return ""
+}
+
+// Valid reports whether Validate finds no violation.
+func (is *InstSchedule) Valid() bool { return len(is.Validate()) == 0 }

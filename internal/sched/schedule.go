@@ -1,0 +1,256 @@
+// Package sched provides the distributed-scheduling substrate: the
+// schedule representation (placement of strictly periodic tasks onto
+// processors, with derived inter-processor communications) and the rapid
+// greedy scheduling heuristic in the style of the paper's reference [4]
+// (Kermia & Sorel, PDCS'07) that produces the initial schedule the
+// load-balancing heuristic consumes.
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// Unplaced marks a task that has not been assigned yet.
+const Unplaced = arch.ProcID(-1)
+
+// Placement is the assignment of a task: its processor and the start time
+// of its first instance. Instance k starts at Start + k·Period (strict
+// periodicity).
+type Placement struct {
+	Proc  arch.ProcID
+	Start model.Time
+}
+
+// Comm is one inter-processor data transfer: producer instance Src feeds
+// consumer instance Dst across processors, occupying Medium during
+// [Start, Start+C). It materialises the send/receive task pair of the
+// paper: the send starts at Start on the producer side and the receive
+// completes at Start+C on the consumer side.
+type Comm struct {
+	Src, Dst model.InstanceID
+	Medium   arch.MediumID
+	Start    model.Time
+	Data     model.Mem
+}
+
+// End returns the completion time of the receive side.
+func (c Comm) End(a *arch.Architecture) model.Time { return c.Start + a.CommTime }
+
+// Schedule is a full placement of a task set onto an architecture.
+// Construct one with NewSchedule and Place (manual placement, used by the
+// worked-example reproduction), or with Scheduler.Run. After all tasks are
+// placed, DeriveComms fills in medium slots.
+type Schedule struct {
+	TS   *model.TaskSet
+	Arch *arch.Architecture
+
+	place []Placement
+	comms []Comm
+
+	// tasksOn caches TasksOn per processor; entries are invalidated by
+	// Place.
+	tasksOn map[arch.ProcID][]model.TaskID
+}
+
+// NewSchedule returns an empty schedule over the given frozen task set and
+// architecture.
+func NewSchedule(ts *model.TaskSet, a *arch.Architecture) (*Schedule, error) {
+	if !ts.Frozen() {
+		return nil, fmt.Errorf("sched: task set must be frozen")
+	}
+	s := &Schedule{
+		TS: ts, Arch: a,
+		place:   make([]Placement, ts.Len()),
+		tasksOn: make(map[arch.ProcID][]model.TaskID, a.Procs),
+	}
+	for i := range s.place {
+		s.place[i] = Placement{Proc: Unplaced}
+	}
+	return s, nil
+}
+
+// MustNewSchedule is NewSchedule that panics on error.
+func MustNewSchedule(ts *model.TaskSet, a *arch.Architecture) *Schedule {
+	s, err := NewSchedule(ts, a)
+	if err != nil {
+		panic(err)
+	}
+	return s
+}
+
+// Place assigns a task. It does not validate; call Validate (or
+// DeriveComms + Validate) after all placements.
+func (s *Schedule) Place(id model.TaskID, p arch.ProcID, start model.Time) error {
+	if int(id) < 0 || int(id) >= s.TS.Len() {
+		return fmt.Errorf("sched: Place: unknown task %d", id)
+	}
+	if !s.Arch.Valid(p) {
+		return fmt.Errorf("sched: Place %q: unknown processor %d", s.TS.Task(id).Name, p)
+	}
+	if start < 0 {
+		return fmt.Errorf("sched: Place %q: negative start %d", s.TS.Task(id).Name, start)
+	}
+	if prev := s.place[id]; prev.Proc != Unplaced {
+		delete(s.tasksOn, prev.Proc)
+	}
+	s.place[id] = Placement{Proc: p, Start: start}
+	delete(s.tasksOn, p)
+	return nil
+}
+
+// MustPlace is Place that panics on error.
+func (s *Schedule) MustPlace(id model.TaskID, p arch.ProcID, start model.Time) {
+	if err := s.Place(id, p, start); err != nil {
+		panic(err)
+	}
+}
+
+// Placement returns the placement of a task.
+func (s *Schedule) Placement(id model.TaskID) Placement { return s.place[id] }
+
+// Placed reports whether every task has been assigned.
+func (s *Schedule) Placed() bool {
+	for _, p := range s.place {
+		if p.Proc == Unplaced {
+			return false
+		}
+	}
+	return true
+}
+
+// Comms returns the derived inter-processor communications.
+func (s *Schedule) Comms() []Comm { return s.comms }
+
+// Clone returns a deep copy sharing the immutable task set and
+// architecture.
+func (s *Schedule) Clone() *Schedule {
+	c := &Schedule{TS: s.TS, Arch: s.Arch, tasksOn: make(map[arch.ProcID][]model.TaskID, s.Arch.Procs)}
+	c.place = append([]Placement(nil), s.place...)
+	c.comms = append([]Comm(nil), s.comms...)
+	return c
+}
+
+// TasksOn returns the tasks placed on processor p, sorted by start time
+// then ID. The result is cached until the next Place touching p; callers
+// must not mutate it.
+func (s *Schedule) TasksOn(p arch.ProcID) []model.TaskID {
+	if cached, ok := s.tasksOn[p]; ok {
+		return cached
+	}
+	var out []model.TaskID
+	for i, pl := range s.place {
+		if pl.Proc == p {
+			out = append(out, model.TaskID(i))
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		a, b := s.place[out[i]], s.place[out[j]]
+		if a.Start != b.Start {
+			return a.Start < b.Start
+		}
+		return out[i] < out[j]
+	})
+	s.tasksOn[p] = out
+	return out
+}
+
+// InstanceStart returns the start time of instance k of a task.
+func (s *Schedule) InstanceStart(id model.TaskID, k int) model.Time {
+	return model.InstanceStart(s.place[id].Start, s.TS.Task(id).Period, k)
+}
+
+// InstanceEnd returns the completion time of instance k of a task.
+func (s *Schedule) InstanceEnd(id model.TaskID, k int) model.Time {
+	return s.InstanceStart(id, k) + s.TS.Task(id).WCET
+}
+
+// Makespan returns the completion time of the last instance within the
+// hyper-period — the paper's "total execution time".
+func (s *Schedule) Makespan() model.Time {
+	var m model.Time
+	for i := 0; i < s.TS.Len(); i++ {
+		id := model.TaskID(i)
+		if s.place[id].Proc == Unplaced {
+			continue
+		}
+		k := s.TS.Instances(id) - 1
+		if e := s.InstanceEnd(id, k); e > m {
+			m = e
+		}
+	}
+	return m
+}
+
+// MemOn returns the required memory on p. Following the paper's
+// accounting (its worked example counts 16 units for four instances of a
+// task with m=4), every instance of a task contributes the task's memory
+// amount: data produced by distinct instances cannot be reused (fig. 1).
+func (s *Schedule) MemOn(p arch.ProcID) model.Mem {
+	var m model.Mem
+	for i, pl := range s.place {
+		if pl.Proc == p {
+			id := model.TaskID(i)
+			m += s.TS.Task(id).Mem * model.Mem(s.TS.Instances(id))
+		}
+	}
+	return m
+}
+
+// MemVector returns the per-processor memory amounts (per-instance
+// accounting, see MemOn), index = processor.
+func (s *Schedule) MemVector() []model.Mem {
+	v := make([]model.Mem, s.Arch.Procs)
+	for i, pl := range s.place {
+		if pl.Proc != Unplaced {
+			id := model.TaskID(i)
+			v[pl.Proc] += s.TS.Task(id).Mem * model.Mem(s.TS.Instances(id))
+		}
+	}
+	return v
+}
+
+// MaxMem returns the maximum per-processor memory amount (the ω of
+// Theorem 2).
+func (s *Schedule) MaxMem() model.Mem {
+	var m model.Mem
+	for _, v := range s.MemVector() {
+		if v > m {
+			m = v
+		}
+	}
+	return m
+}
+
+// CrossDeps enumerates the dependences whose endpoints sit on different
+// processors, expanded to instance granularity.
+func (s *Schedule) CrossDeps() []Comm {
+	var out []Comm
+	for _, d := range s.TS.Dependences() {
+		sp, dp := s.place[d.Src].Proc, s.place[d.Dst].Proc
+		if sp == Unplaced || dp == Unplaced || sp == dp {
+			continue
+		}
+		med, err := s.Arch.Route(sp, dp)
+		if err != nil {
+			continue
+		}
+		for k := 0; k < s.TS.Instances(d.Dst); k++ {
+			for _, src := range model.InstanceDeps(s.TS, d.Dst, k) {
+				if src.Task != d.Src {
+					continue
+				}
+				out = append(out, Comm{
+					Src:    src,
+					Dst:    model.InstanceID{Task: d.Dst, K: k},
+					Medium: med,
+					Data:   d.Data,
+				})
+			}
+		}
+	}
+	return out
+}

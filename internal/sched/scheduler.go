@@ -1,0 +1,208 @@
+package sched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// Scheduler is the rapid greedy heuristic producing the initial
+// distributed schedule (the role of the paper's reference [4]): it places
+// tasks one by one, in a topological order refined by increasing period,
+// at the earliest feasible start time on the best processor.
+//
+// Processor choice: the candidate giving the smallest start time wins;
+// ties prefer a processor already hosting a producer at the same or a
+// multiple period (the co-location property §4 of the paper relies on),
+// then the least-utilised processor, then the lowest index. Memory
+// capacity, when bounded, is respected.
+type Scheduler struct {
+	TS   *model.TaskSet
+	Arch *arch.Architecture
+
+	// CoLocate enables the producer-co-location tie-break (default true in
+	// New).
+	CoLocate bool
+
+	// Retries bounds the boost-and-restart repair rounds after a failed
+	// placement (default 8 in NewScheduler).
+	Retries int
+}
+
+// NewScheduler returns a scheduler with default policy.
+func NewScheduler(ts *model.TaskSet, a *arch.Architecture) *Scheduler {
+	return &Scheduler{TS: ts, Arch: a, CoLocate: true, Retries: 8}
+}
+
+// Run produces a complete schedule, with communications derived, or an
+// error when a task cannot be placed (memory exhausted everywhere or no
+// feasible start). When a placement fails, the scheduler retries from
+// scratch with the failing task boosted to the front of the ready set —
+// tasks that are hard to pack (long WCETs, tight dependence bounds) go
+// first while the timeline is still empty. Up to Retries rounds.
+func (sc *Scheduler) Run() (*Schedule, error) {
+	boost := make(map[model.TaskID]int)
+	var lastErr error
+	for attempt := 0; attempt <= sc.Retries; attempt++ {
+		s, failed, err := sc.runOnce(boost)
+		if err == nil {
+			return s, nil
+		}
+		lastErr = err
+		if failed < 0 {
+			return nil, err // structural error, retrying cannot help
+		}
+		// Boost the failing task and its whole ancestry: the task can only
+		// enter the ready set once its producers are placed, so they must
+		// come early too.
+		for _, id := range sc.ancestry(failed) {
+			boost[id]++
+		}
+	}
+	return nil, lastErr
+}
+
+// ancestry returns the task and all its transitive predecessors.
+func (sc *Scheduler) ancestry(id model.TaskID) []model.TaskID {
+	seen := map[model.TaskID]bool{id: true}
+	stack := []model.TaskID{id}
+	out := []model.TaskID{id}
+	for len(stack) > 0 {
+		cur := stack[len(stack)-1]
+		stack = stack[:len(stack)-1]
+		for _, p := range sc.TS.Predecessors(cur) {
+			if !seen[p] {
+				seen[p] = true
+				stack = append(stack, p)
+				out = append(out, p)
+			}
+		}
+	}
+	return out
+}
+
+// runOnce is one greedy pass. On placement failure it returns the task
+// that could not be placed.
+func (sc *Scheduler) runOnce(boost map[model.TaskID]int) (*Schedule, model.TaskID, error) {
+	s, err := NewSchedule(sc.TS, sc.Arch)
+	if err != nil {
+		return nil, -1, err
+	}
+	order := sc.order(boost)
+	util := make([]model.Time, sc.Arch.Procs) // busy time per hyper-period
+	memUsed := make([]model.Mem, sc.Arch.Procs)
+
+	for _, id := range order {
+		t := sc.TS.Task(id)
+		busy := model.Time(sc.TS.Instances(id)) * t.WCET
+		// Per-instance memory accounting (paper: data of distinct
+		// instances cannot share storage, figure 1).
+		need := t.Mem * model.Mem(sc.TS.Instances(id))
+
+		best := arch.ProcID(-1)
+		var bestStart model.Time
+		for p := arch.ProcID(0); int(p) < sc.Arch.Procs; p++ {
+			if cap := sc.Arch.MemCapacity; cap > 0 && memUsed[p]+need > cap {
+				continue
+			}
+			lb := s.DepLowerBound(id, p)
+			start, err := s.EarliestStart(id, p, lb)
+			if err != nil {
+				continue
+			}
+			if best < 0 || sc.better(s, id, p, start, best, bestStart, util) {
+				best, bestStart = p, start
+			}
+		}
+		if best < 0 {
+			return nil, id, fmt.Errorf("sched: cannot place task %q: no processor has feasible time and memory", t.Name)
+		}
+		if err := s.Place(id, best, bestStart); err != nil {
+			return nil, -1, err
+		}
+		util[best] += busy
+		memUsed[best] += need
+	}
+	if err := s.DeriveComms(); err != nil {
+		return nil, -1, err
+	}
+	return s, -1, nil
+}
+
+// better reports whether candidate (p, start) beats the incumbent
+// (bp, bstart) for task id.
+func (sc *Scheduler) better(s *Schedule, id model.TaskID, p arch.ProcID, start model.Time,
+	bp arch.ProcID, bstart model.Time, util []model.Time) bool {
+	if start != bstart {
+		return start < bstart
+	}
+	if sc.CoLocate {
+		cp, cb := sc.hostsProducer(s, id, p), sc.hostsProducer(s, id, bp)
+		if cp != cb {
+			return cp
+		}
+	}
+	if util[p] != util[bp] {
+		return util[p] < util[bp]
+	}
+	return p < bp
+}
+
+func (sc *Scheduler) hostsProducer(s *Schedule, id model.TaskID, p arch.ProcID) bool {
+	for _, src := range sc.TS.Predecessors(id) {
+		if s.place[src].Proc == p {
+			return true
+		}
+	}
+	return false
+}
+
+// order returns the placement order: a topological order of the
+// dependence DAG in which ready tasks are taken by boost count (repair
+// rounds push hard-to-pack tasks first), then increasing period (the fast
+// tasks that impose rates come first), then decreasing total busy time
+// (longest processing time first within a period class), then ID.
+func (sc *Scheduler) order(boost map[model.TaskID]int) []model.TaskID {
+	n := sc.TS.Len()
+	indeg := make([]int, n)
+	for _, d := range sc.TS.Dependences() {
+		indeg[d.Dst]++
+	}
+	ready := make([]model.TaskID, 0, n)
+	for i := 0; i < n; i++ {
+		if indeg[i] == 0 {
+			ready = append(ready, model.TaskID(i))
+		}
+	}
+	less := func(a, b model.TaskID) bool {
+		if boost[a] != boost[b] {
+			return boost[a] > boost[b]
+		}
+		ta, tb := sc.TS.Task(a), sc.TS.Task(b)
+		if ta.Period != tb.Period {
+			return ta.Period < tb.Period
+		}
+		ba := model.Time(sc.TS.Instances(a)) * ta.WCET
+		bb := model.Time(sc.TS.Instances(b)) * tb.WCET
+		if ba != bb {
+			return ba > bb
+		}
+		return a < b
+	}
+	out := make([]model.TaskID, 0, n)
+	for len(ready) > 0 {
+		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
+		id := ready[0]
+		ready = ready[1:]
+		out = append(out, id)
+		for _, s := range sc.TS.Successors(id) {
+			indeg[s]--
+			if indeg[s] == 0 {
+				ready = append(ready, s)
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,100 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// EarliestStart searches for the smallest start time ≥ lower such that
+// every instance of task id (strictly periodic at its period) fits on
+// processor p without overlapping any instance already placed there — in
+// steady state, i.e. including the wrap-around images of the repeating
+// hyper-period pattern.
+//
+// The search runs on the pairwise strict-periodicity compatibility test
+// of the paper's reference [1] (see model.Compatible): a candidate start
+// conflicts with an existing task iff their start difference modulo
+// gcd(Ti, Tj) leaves no room for both WCETs, so each existing task
+// admits a periodic family of feasible windows and the search hops to
+// the next window edge instead of probing instance pairs. It returns an
+// error when no feasible start exists within one hyper-period above the
+// lower bound (the joint window pattern repeats with a period dividing
+// the hyper-period, so searching further cannot help).
+func (s *Schedule) EarliestStart(id model.TaskID, p arch.ProcID, lower model.Time) (model.Time, error) {
+	t := s.TS.Task(id)
+	limit := lower + s.TS.HyperPeriod()
+	others := s.TasksOn(p)
+
+	start := lower
+	for start <= limit {
+		bumped := false
+		for _, other := range others {
+			if other == id {
+				continue
+			}
+			ot := s.TS.Task(other)
+			os := s.place[other].Start
+			if model.Compatible(os, ot.Period, ot.WCET, start, t.Period, t.WCET) {
+				continue
+			}
+			next, ok := model.FirstCompatibleAtLeast(os, ot.Period, ot.WCET, t.Period, t.WCET, start+1)
+			if !ok {
+				return 0, fmt.Errorf("sched: %q (T=%d,E=%d) can never share %s with %q (T=%d,E=%d): gcd window too small",
+					t.Name, t.Period, t.WCET, s.Arch.ProcName(p), ot.Name, ot.Period, ot.WCET)
+			}
+			if next > start {
+				start = next
+				bumped = true
+			}
+		}
+		if !bumped {
+			return start, nil
+		}
+	}
+	return 0, fmt.Errorf("sched: no feasible start for %q on %s above %d", t.Name, s.Arch.ProcName(p), lower)
+}
+
+// FitsAt reports whether the task could be placed at (p, start) without
+// overlap against the current placement, in steady state.
+func (s *Schedule) FitsAt(id model.TaskID, p arch.ProcID, start model.Time) bool {
+	t := s.TS.Task(id)
+	for _, other := range s.TasksOn(p) {
+		if other == id {
+			continue
+		}
+		ot := s.TS.Task(other)
+		if !model.Compatible(s.place[other].Start, ot.Period, ot.WCET, start, t.Period, t.WCET) {
+			return false
+		}
+	}
+	return true
+}
+
+// DepLowerBound returns the earliest start of task id permitted by its
+// producers under the current placement, assuming id runs on p: each
+// producer instance must complete (plus C when the producer is on another
+// processor) before the corresponding consumer instance starts. Because
+// instance k starts at S + k·T, each producer constraint on instance k
+// translates to a bound on S of end - k·T. Unplaced producers contribute
+// no bound.
+func (s *Schedule) DepLowerBound(id model.TaskID, p arch.ProcID) model.Time {
+	lb := model.Time(0)
+	t := s.TS.Task(id)
+	for k := 0; k < s.TS.Instances(id); k++ {
+		for _, src := range model.InstanceDeps(s.TS, id, k) {
+			if s.place[src.Task].Proc == Unplaced {
+				continue
+			}
+			end := s.InstanceEnd(src.Task, src.K)
+			if s.place[src.Task].Proc != p {
+				end += s.Arch.CommTime
+			}
+			if b := end - model.Time(k)*t.Period; b > lb {
+				lb = b
+			}
+		}
+	}
+	return lb
+}

@@ -1,0 +1,144 @@
+package sched
+
+import (
+	"fmt"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// ValidationError describes one constraint violation found by Validate.
+type ValidationError struct {
+	Kind string // "placement", "overlap", "precedence", "memory", "medium"
+	Msg  string
+}
+
+func (e ValidationError) Error() string { return "sched: " + e.Kind + ": " + e.Msg }
+
+// Validate checks every constraint of the model on the schedule:
+//
+//   - every task is placed with a non-negative start time;
+//   - non-preemptive execution: no two instances overlap on a processor
+//     (checked over one hyper-period, which is sufficient because the
+//     whole pattern repeats with period LCM);
+//   - strict periodicity is structural (instance k = S + k·T) and needs no
+//     check beyond S ≥ 0;
+//   - precedence: every producer instance completes (plus C for
+//     inter-processor edges) before its consumer instance starts;
+//   - memory: per-processor required memory within capacity, if bounded;
+//   - media: derived transfers do not overlap on their medium and sit
+//     between producer end and consumer start.
+//
+// It returns all violations found (nil means valid).
+func (s *Schedule) Validate() []ValidationError {
+	var errs []ValidationError
+	add := func(kind, format string, args ...any) {
+		errs = append(errs, ValidationError{Kind: kind, Msg: fmt.Sprintf(format, args...)})
+	}
+
+	for i := 0; i < s.TS.Len(); i++ {
+		id := model.TaskID(i)
+		pl := s.place[id]
+		if pl.Proc == Unplaced {
+			add("placement", "task %q is not placed", s.TS.Task(id).Name)
+		} else if pl.Start < 0 {
+			add("placement", "task %q has negative start %d", s.TS.Task(id).Name, pl.Start)
+		}
+	}
+	if len(errs) > 0 {
+		return errs
+	}
+
+	// Non-overlap per processor over one hyper-period.
+	h := s.TS.HyperPeriod()
+	for p := arch.ProcID(0); int(p) < s.Arch.Procs; p++ {
+		ids := s.TasksOn(p)
+		type iv struct {
+			start, end model.Time
+			iid        model.InstanceID
+		}
+		var ivs []iv
+		for _, id := range ids {
+			t := s.TS.Task(id)
+			for k := 0; k < s.TS.Instances(id); k++ {
+				st := s.InstanceStart(id, k)
+				ivs = append(ivs, iv{st, st + t.WCET, model.InstanceID{Task: id, K: k}})
+			}
+		}
+		for i := 0; i < len(ivs); i++ {
+			for j := i + 1; j < len(ivs); j++ {
+				a, b := ivs[i], ivs[j]
+				// Compare both direct and one hyper-period-shifted images so
+				// wrap-around overlaps of the repeating pattern are caught.
+				if overlaps(a.start, a.end, b.start, b.end) ||
+					overlaps(a.start+h, a.end+h, b.start, b.end) ||
+					overlaps(a.start, a.end, b.start+h, b.end+h) {
+					add("overlap", "%s and %s overlap on %s",
+						s.instName(a.iid), s.instName(b.iid), s.Arch.ProcName(p))
+				}
+			}
+		}
+	}
+
+	// Precedence with communication delay.
+	for _, d := range s.TS.Dependences() {
+		sp, dp := s.place[d.Src].Proc, s.place[d.Dst].Proc
+		delay := model.Time(0)
+		if sp != dp {
+			delay = s.Arch.CommTime
+		}
+		for k := 0; k < s.TS.Instances(d.Dst); k++ {
+			for _, src := range model.InstanceDeps(s.TS, d.Dst, k) {
+				if src.Task != d.Src {
+					continue
+				}
+				end := s.InstanceEnd(src.Task, src.K) + delay
+				start := s.InstanceStart(d.Dst, k)
+				if end > start {
+					add("precedence", "%s must complete by %d but %s starts at %d",
+						s.instName(src), start, s.instName(model.InstanceID{Task: d.Dst, K: k}), start)
+					_ = end
+				}
+			}
+		}
+	}
+
+	// Memory capacity.
+	if cap := s.Arch.MemCapacity; cap > 0 {
+		for p, m := range s.MemVector() {
+			if m > cap {
+				add("memory", "%s needs %d memory units, capacity %d",
+					s.Arch.ProcName(arch.ProcID(p)), m, cap)
+			}
+		}
+	}
+
+	// Medium slots: window check always; exclusivity only under the
+	// contended-media model.
+	for i, cm := range s.comms {
+		ready := s.InstanceEnd(cm.Src.Task, cm.Src.K)
+		deadline := s.InstanceStart(cm.Dst.Task, cm.Dst.K)
+		if cm.Start < ready || cm.End(s.Arch) > deadline {
+			add("medium", "transfer %s→%s slot [%d,%d) outside window [%d,%d]",
+				s.instName(cm.Src), s.instName(cm.Dst), cm.Start, cm.End(s.Arch), ready, deadline)
+		}
+		if !s.Arch.ContendedMedia {
+			continue
+		}
+		for j := i + 1; j < len(s.comms); j++ {
+			o := s.comms[j]
+			if o.Medium == cm.Medium && overlaps(cm.Start, cm.End(s.Arch), o.Start, o.End(s.Arch)) {
+				add("medium", "transfers %s→%s and %s→%s overlap on %s",
+					s.instName(cm.Src), s.instName(cm.Dst), s.instName(o.Src), s.instName(o.Dst),
+					s.Arch.MediumName(cm.Medium))
+			}
+		}
+	}
+
+	return errs
+}
+
+// Valid reports whether Validate finds no violation.
+func (s *Schedule) Valid() bool { return len(s.Validate()) == 0 }
+
+func overlaps(a0, a1, b0, b1 model.Time) bool { return a0 < b1 && b0 < a1 }

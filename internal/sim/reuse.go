@@ -1,0 +1,143 @@
+package sim
+
+import (
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// reuse.go quantifies the paper's figure-1 argument. The paper charges
+// every task instance its full memory amount because "memory reuse is not
+// always possible": the n data produced by a faster producer for one
+// slower consumer must coexist. But *between unrelated instances* whose
+// lifetimes do not overlap, a real allocator can reuse storage (the
+// paper's reference [5], Biswas et al.). MinMemoryWithReuse computes that
+// lower bound per processor by sweeping buffer lifetimes, so experiments
+// can report both accountings side by side:
+//
+//   - paper accounting:  Σ over resident instances of m(task)
+//   - reuse accounting:  peak of simultaneously-live buffers
+//
+// A buffer is live from the start of the producing instance (the task
+// materialises its data while it runs) until the end of the last instance
+// that consumes it (+C transfer tail for remote consumers); data that
+// nobody consumes lives until its producer's instance ends.
+type lifetime struct {
+	start, end model.Time
+	mem        model.Mem
+}
+
+// MemReuseReport compares the two accountings for one schedule.
+type MemReuseReport struct {
+	Paper []model.Mem // per-processor, the paper's no-reuse accounting
+	Reuse []model.Mem // per-processor, peak live memory with reuse
+}
+
+// Savings returns 1 − Σreuse/Σpaper, the fraction of memory the paper's
+// accounting overstates relative to a perfectly reusing allocator.
+func (r *MemReuseReport) Savings() float64 {
+	var p, u model.Mem
+	for i := range r.Paper {
+		p += r.Paper[i]
+		u += r.Reuse[i]
+	}
+	if p == 0 {
+		return 0
+	}
+	return 1 - float64(u)/float64(p)
+}
+
+// MinMemoryWithReuse computes the per-processor peak of simultaneously
+// live task buffers over one hyper-period (steady state: lifetimes are
+// wrapped modulo H).
+func MinMemoryWithReuse(is *sched.InstSchedule) *MemReuseReport {
+	ts, ar := is.TS, is.Arch
+	h := ts.HyperPeriod()
+	rep := &MemReuseReport{
+		Paper: is.MemVector(),
+		Reuse: make([]model.Mem, ar.Procs),
+	}
+
+	perProc := make([][]lifetime, ar.Procs)
+	for _, iid := range model.ExpandInstances(ts) {
+		pl, ok := is.Placement(iid)
+		if !ok {
+			continue
+		}
+		t := ts.Task(iid.Task)
+		lt := lifetime{start: pl.Start, end: is.End(iid), mem: t.Mem}
+		// Extend to the completion of the last consumer of this
+		// instance's data.
+		for _, succ := range ts.Successors(iid.Task) {
+			for k := 0; k < ts.Instances(succ); k++ {
+				for _, src := range model.InstanceDeps(ts, succ, k) {
+					if src != iid {
+						continue
+					}
+					ci := model.InstanceID{Task: succ, K: k}
+					cend := is.End(ci)
+					if cpl, ok := is.Placement(ci); ok && cpl.Proc != pl.Proc {
+						// The data leaves this processor once the transfer
+						// completes: producer side holds it until the
+						// consumer start at the latest (send + flight).
+						cend = is.End(iid) + ar.CommTime
+						_ = cpl
+					}
+					if cend > lt.end {
+						lt.end = cend
+					}
+				}
+			}
+		}
+		perProc[pl.Proc] = append(perProc[pl.Proc], lt)
+	}
+
+	for p := range perProc {
+		rep.Reuse[p] = peakLive(perProc[p], h)
+	}
+	return rep
+}
+
+// peakLive sweeps lifetimes wrapped into the steady-state ring [0, h).
+func peakLive(lts []lifetime, h model.Time) model.Mem {
+	type ev struct {
+		at    model.Time
+		delta model.Mem
+	}
+	var evs []ev
+	for _, lt := range lts {
+		if lt.end-lt.start >= h {
+			// Live the whole ring: constant contribution.
+			evs = append(evs, ev{0, lt.mem})
+			continue
+		}
+		s := model.Mod(lt.start, h)
+		e := model.Mod(lt.end, h)
+		if s < e {
+			evs = append(evs, ev{s, lt.mem}, ev{e, -lt.mem})
+		} else { // wraps midnight
+			evs = append(evs, ev{0, lt.mem}, ev{e, -lt.mem}, ev{s, lt.mem})
+			// the closing -mem at h is implicit (sweep ends there)
+		}
+	}
+	sort.Slice(evs, func(i, j int) bool {
+		if evs[i].at != evs[j].at {
+			return evs[i].at < evs[j].at
+		}
+		return evs[i].delta < evs[j].delta
+	})
+	var cur, peak model.Mem
+	for _, e := range evs {
+		cur += e.delta
+		if cur > peak {
+			peak = cur
+		}
+	}
+	return peak
+}
+
+// ReuseByProc is a convenience wrapper returning only the reuse vector.
+func ReuseByProc(is *sched.InstSchedule) []model.Mem {
+	return MinMemoryWithReuse(is).Reuse
+}

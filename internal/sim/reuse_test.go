@@ -1,0 +1,106 @@
+package sim
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+func TestReuseCannotBeatMultiRateCoexistence(t *testing.T) {
+	// Figure 1's point, co-located: all n producer buffers must coexist
+	// until the slow consumer runs, so even a perfectly reusing allocator
+	// needs the paper's full amount. n = 4, a (m=1) and b (m=1) on one
+	// processor: 4 live a-buffers + b's own = 5 = the paper accounting.
+	ts := model.NewTaskSet()
+	a := ts.MustAddTask("a", 3, 1, 1)
+	b := ts.MustAddTask("b", 12, 1, 1)
+	ts.MustAddDependence(a, b, 1)
+	ts.MustFreeze()
+	s := sched.MustNewSchedule(ts, arch.MustNew(1, 0))
+	s.MustPlace(a, 0, 0)
+	s.MustPlace(b, 0, 10)
+	rep := MinMemoryWithReuse(sched.FromSchedule(s))
+	if rep.Reuse[0] != rep.Paper[0] {
+		t.Errorf("co-located fig.1: reuse %d, paper %d — multi-rate coexistence should make them equal",
+			rep.Reuse[0], rep.Paper[0])
+	}
+	if rep.Savings() != 0 {
+		t.Errorf("savings = %v, want 0: reuse cannot help here", rep.Savings())
+	}
+}
+
+func TestReuseProducerSideShipsDataAway(t *testing.T) {
+	// Figure 1 cross-processor: the producer's buffers leave with each
+	// transfer, so the producer side reuses one slot; the coexistence
+	// cost moves to the consumer's receive buffer (Runner.BufferPeak).
+	is := fig1Schedule(t, 4)
+	rep := MinMemoryWithReuse(is)
+	if rep.Reuse[0] != 1 {
+		t.Errorf("producer-side reuse peak = %d, want 1 (each datum ships before the next)", rep.Reuse[0])
+	}
+	run, err := (&Runner{}).Run(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Reuse-aware total demand on the consumer side: local tasks (1) +
+	// the 4-datum receive buffer = 5 — no lower than the paper's total.
+	total := rep.Reuse[1] + run.Procs[1].BufferPeak
+	paper := rep.Paper[1] + run.Procs[1].BufferPeak
+	if total != 5 || paper != 5 {
+		t.Errorf("consumer-side demand: reuse-aware %d, paper %d, want both 5", total, paper)
+	}
+}
+
+func TestReuseSavesOnDisjointLifetimes(t *testing.T) {
+	// Two independent tasks sharing a processor back-to-back: their
+	// buffers never coexist (no consumers), so the reuse peak is the max,
+	// not the sum.
+	ts := model.NewTaskSet()
+	a := ts.MustAddTask("a", 12, 2, 5)
+	b := ts.MustAddTask("b", 12, 2, 3)
+	ts.MustFreeze()
+	s := sched.MustNewSchedule(ts, arch.MustNew(1, 0))
+	s.MustPlace(a, 0, 0)
+	s.MustPlace(b, 0, 2)
+	rep := MinMemoryWithReuse(sched.FromSchedule(s))
+	if rep.Paper[0] != 8 {
+		t.Fatalf("paper accounting = %d, want 8", rep.Paper[0])
+	}
+	if rep.Reuse[0] != 5 {
+		t.Errorf("reuse accounting = %d, want 5 (max of disjoint lifetimes)", rep.Reuse[0])
+	}
+	if s := rep.Savings(); s <= 0 {
+		t.Errorf("savings = %v, want > 0", s)
+	}
+}
+
+func TestReuseRespectsConsumerExtension(t *testing.T) {
+	// a feeds b on the same processor with a gap: a's buffer stays live
+	// until b completes, overlapping b's own buffer.
+	ts := model.NewTaskSet()
+	a := ts.MustAddTask("a", 12, 1, 4)
+	b := ts.MustAddTask("b", 12, 1, 2)
+	ts.MustAddDependence(a, b, 1)
+	ts.MustFreeze()
+	s := sched.MustNewSchedule(ts, arch.MustNew(1, 0))
+	s.MustPlace(a, 0, 0)
+	s.MustPlace(b, 0, 5)
+	rep := MinMemoryWithReuse(sched.FromSchedule(s))
+	// a's data lives [0, b.end=6); b lives [5,6): both live at t=5 → 6.
+	if rep.Reuse[0] != 6 {
+		t.Errorf("reuse peak = %d, want 6 (producer buffer held for its consumer)", rep.Reuse[0])
+	}
+}
+
+func TestReuseNeverExceedsPaper(t *testing.T) {
+	for n := model.Time(1); n <= 6; n++ {
+		rep := MinMemoryWithReuse(fig1Schedule(t, n))
+		for p := range rep.Paper {
+			if rep.Reuse[p] > rep.Paper[p] {
+				t.Errorf("n=%d P%d: reuse %d exceeds paper accounting %d", n, p+1, rep.Reuse[p], rep.Paper[p])
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package trace
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/sched"
+)
+
+func TestCSVRoundTrip(t *testing.T) {
+	s := sample(t)
+	is := sched.FromSchedule(s)
+	var buf bytes.Buffer
+	if err := CSV(&buf, is); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadCSV(&buf, s.TS, s.Arch)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Makespan() != is.Makespan() {
+		t.Errorf("round trip makespan %d, want %d", got.Makespan(), is.Makespan())
+	}
+	if len(got.Validate()) > 0 {
+		t.Errorf("round-tripped schedule invalid: %v", got.Validate()[0])
+	}
+	for p := arch.ProcID(0); int(p) < s.Arch.Procs; p++ {
+		a, b := is.InstancesOn(p), got.InstancesOn(p)
+		if len(a) != len(b) {
+			t.Fatalf("P%d: %d vs %d instances after round trip", p+1, len(a), len(b))
+		}
+	}
+}
+
+func TestReadCSVRejectsBadInput(t *testing.T) {
+	s := sample(t)
+	cases := []struct{ name, data string }{
+		{"bad header", "nope\n"},
+		{"unknown task", "task,instance,processor,start,end,mem\nzz,1,1,0,1,1\n"},
+		{"bad instance", "task,instance,processor,start,end,mem\na,9,1,0,1,4\n"},
+		{"bad processor", "task,instance,processor,start,end,mem\na,1,7,0,1,4\n"},
+		{"negative start", "task,instance,processor,start,end,mem\na,1,1,-2,-1,4\n"},
+		{"end mismatch", "task,instance,processor,start,end,mem\na,1,1,0,3,4\n"},
+		{"short row", "task,instance,processor,start,end,mem\na,1,1\n"},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			if _, err := ReadCSV(strings.NewReader(c.data), s.TS, s.Arch); err == nil {
+				t.Fatalf("accepted %s", c.name)
+			}
+		})
+	}
+}

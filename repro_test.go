@@ -1,0 +1,120 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro"
+)
+
+// TestFacadePipeline drives the whole public API the way the README's
+// quickstart does.
+func TestFacadePipeline(t *testing.T) {
+	ts := repro.NewTaskSet()
+	a, err := ts.AddTask("a", 5, 1, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := ts.AddTask("b", 10, 2, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.AddDependence(a, b, 1); err != nil {
+		t.Fatal(err)
+	}
+	if err := ts.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+
+	ar, err := repro.NewArchitecture(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := repro.Schedule(ts, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if errs := s.Validate(); len(errs) > 0 {
+		t.Fatalf("initial schedule invalid: %v", errs)
+	}
+
+	res, err := repro.Balance(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.MakespanAfter > res.MakespanBefore {
+		t.Errorf("makespan increased %d → %d", res.MakespanBefore, res.MakespanAfter)
+	}
+	if errs := res.Schedule.Validate(); len(errs) > 0 {
+		t.Fatalf("balanced schedule invalid: %v", errs)
+	}
+
+	rep, err := repro.Simulate(res.Schedule)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.IdleRatio < 0 || rep.IdleRatio > 1 {
+		t.Errorf("idle ratio %v out of range", rep.IdleRatio)
+	}
+}
+
+func TestFacadeGenerateAndBlocks(t *testing.T) {
+	ts, err := repro.Generate(repro.GenConfig{Seed: 4, Tasks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := repro.MustNewArchitecture(3, 1)
+	s, err := repro.Schedule(ts, ar)
+	if err != nil {
+		t.Skip(err)
+	}
+	is := repro.Expand(s)
+	blks := repro.BuildBlocks(is)
+	if len(blks) == 0 {
+		t.Fatal("no blocks built")
+	}
+	total := 0
+	for _, b := range blks {
+		total += len(b.Members)
+	}
+	if total != ts.TotalInstances() {
+		t.Errorf("blocks cover %d instances, want %d", total, ts.TotalInstances())
+	}
+}
+
+func TestFacadePolicies(t *testing.T) {
+	ts, err := repro.Generate(repro.GenConfig{Seed: 6, Tasks: 20})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := repro.MustNewArchitecture(3, 1)
+	s, err := repro.Schedule(ts, ar)
+	if err != nil {
+		t.Skip(err)
+	}
+	for _, p := range []repro.Policy{repro.PolicyLexicographic, repro.PolicyRatio, repro.PolicyMemoryOnly} {
+		res, err := repro.BalanceWith(repro.Expand(s), &repro.Balancer{Policy: p})
+		if err != nil {
+			t.Fatalf("policy %v: %v", p, err)
+		}
+		if res.MakespanAfter > res.MakespanBefore {
+			t.Errorf("policy %v increased makespan", p)
+		}
+	}
+}
+
+func TestFacadeManualSchedule(t *testing.T) {
+	ts := repro.NewTaskSet()
+	a, _ := ts.AddTask("a", 4, 1, 1)
+	if err := ts.Freeze(); err != nil {
+		t.Fatal(err)
+	}
+	ar := repro.MustNewArchitecture(1, 0)
+	s, err := repro.NewManualSchedule(ts, ar)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.MustPlace(a, 0, 2)
+	if !s.Valid() {
+		t.Error("manual schedule should validate")
+	}
+}
