@@ -5,11 +5,13 @@ package repro_test
 
 import (
 	"fmt"
+	"runtime"
 	"testing"
 
 	"repro"
 	"repro/internal/arch"
 	"repro/internal/blocks"
+	"repro/internal/campaign"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -257,6 +259,36 @@ func BenchmarkExhaustive(b *testing.B) {
 		if _, _, err := bal.ExhaustiveBest(is, core.ObjectiveMakespan); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkCampaign — the parallel experiment-campaign engine on a
+// fixed sweep, at 1 worker vs GOMAXPROCS workers. The ratio between the
+// two sub-benchmarks is the engine's parallel speedup (the aggregates
+// themselves are bit-identical at any worker count, so the serial run
+// is a pure baseline, not a different computation).
+func BenchmarkCampaign(b *testing.B) {
+	spec := func() *campaign.Spec {
+		return &campaign.Spec{
+			Name:        "bench",
+			Seeds:       16,
+			Tasks:       []int{60},
+			Utilization: []float64{3},
+			Procs:       []int{5},
+		}
+	}
+	for _, workers := range []int{1, runtime.GOMAXPROCS(0)} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				res, err := (&campaign.Engine{Workers: workers}).Run(spec())
+				if err != nil {
+					b.Fatal(err)
+				}
+				if len(res.Trials) != 16 {
+					b.Fatalf("trials: %d", len(res.Trials))
+				}
+			}
+		})
 	}
 }
 

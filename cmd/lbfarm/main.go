@@ -1,0 +1,133 @@
+// Command lbfarm runs parallel experiment campaigns over the full
+// pipeline (generate → schedule → balance → simulate → analyze) using
+// the internal/campaign engine. A sweep is the cross product of task
+// counts, utilisations, processor counts, and cost policies, with a
+// fixed number of seeds per cell; trials are fanned out over a worker
+// pool and the aggregates are bit-identical for every worker count.
+//
+// Usage:
+//
+//	lbfarm -tasks 100,200 -util 2,3 -procs 4,8 -seeds 50
+//	lbfarm -spec sweep.json -workers 16 -out artifacts
+//
+// Artifacts: <out>/<name>.json (spec + per-cell aggregates + trials)
+// and <out>/<name>.csv (long-form aggregate table); the text summary
+// goes to stdout. See docs/campaign.md for the schema.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"strconv"
+	"strings"
+
+	"repro/internal/campaign"
+	"repro/internal/model"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbfarm: ")
+	var (
+		specPath = flag.String("spec", "", "JSON sweep specification (overrides the grid flags)")
+		name     = flag.String("name", "campaign", "campaign name (artifact basename)")
+		seeds    = flag.Int("seeds", 20, "seeds per grid cell")
+		seedBase = flag.Int64("seed-base", 0, "first seed")
+		tasks    = flag.String("tasks", "40", "comma-separated task counts")
+		util     = flag.String("util", "2.5", "comma-separated target utilisations")
+		procs    = flag.String("procs", "4", "comma-separated processor counts")
+		policies = flag.String("policies", "lexicographic", "comma-separated policies: lexicographic|ratio|memory-only")
+		periods  = flag.String("periods", "", "comma-separated harmonic period ladder (empty = generator default)")
+		comm     = flag.Int64("comm", 1, "inter-processor transfer time C")
+		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		out      = flag.String("out", "artifacts", "artifact directory")
+		noTrials = flag.Bool("table-only", false, "print the table but write no artifacts")
+	)
+	flag.Parse()
+
+	var spec *campaign.Spec
+	if *specPath != "" {
+		s, err := campaign.LoadSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = s
+	} else {
+		spec = &campaign.Spec{
+			Name:        *name,
+			Seeds:       *seeds,
+			SeedBase:    *seedBase,
+			Tasks:       ints(*tasks),
+			Utilization: floats(*util),
+			Procs:       ints(*procs),
+			Policies:    split(*policies),
+			Periods:     times(*periods),
+			CommTime:    model.Time(*comm),
+		}
+		if err := spec.Normalize(); err != nil {
+			log.Fatal(err)
+		}
+	}
+
+	res, err := (&campaign.Engine{Workers: *workers}).Run(spec)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Print(res.Table())
+	if *noTrials {
+		return
+	}
+	jp, cp, err := res.WriteArtifacts(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("artifacts: %s %s\n", jp, cp)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func ints(s string) []int {
+	var out []int
+	for _, p := range split(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			log.Fatalf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func floats(s string) []float64 {
+	var out []float64
+	for _, p := range split(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			log.Fatalf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func times(s string) []model.Time {
+	var out []model.Time
+	for _, p := range split(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			log.Fatalf("bad period %q", p)
+		}
+		out = append(out, model.Time(v))
+	}
+	return out
+}

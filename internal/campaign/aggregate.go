@@ -1,0 +1,189 @@
+package campaign
+
+import (
+	"math"
+	"sort"
+	"sync"
+)
+
+// Agg is a thread-safe streaming aggregator. Workers call Observe as
+// trials finish — in whatever order the scheduler produces — and
+// Finalize folds the samples in trial-index order, so the resulting
+// Stats are bit-identical for every worker count (floating-point
+// addition is not associative; a fixed fold order sidesteps that).
+type Agg struct {
+	mu      sync.Mutex
+	samples []sample
+}
+
+type sample struct {
+	idx int
+	v   float64
+}
+
+// Observe records value v for trial index idx. Safe for concurrent use.
+func (a *Agg) Observe(idx int, v float64) {
+	a.mu.Lock()
+	a.samples = append(a.samples, sample{idx, v})
+	a.mu.Unlock()
+}
+
+// Stats summarises one metric over the trials of a cell. Percentiles
+// use the nearest-rank definition on the value-sorted samples.
+type Stats struct {
+	Count int     `json:"count"`
+	Mean  float64 `json:"mean"`
+	Std   float64 `json:"std"` // population standard deviation
+	Min   float64 `json:"min"`
+	Max   float64 `json:"max"`
+	P50   float64 `json:"p50"`
+	P90   float64 `json:"p90"`
+	P99   float64 `json:"p99"`
+}
+
+// Finalize computes the deterministic summary. The zero Stats is
+// returned for an empty aggregator.
+func (a *Agg) Finalize() Stats {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	n := len(a.samples)
+	if n == 0 {
+		return Stats{}
+	}
+	sort.Slice(a.samples, func(i, j int) bool { return a.samples[i].idx < a.samples[j].idx })
+
+	var sum float64
+	for _, s := range a.samples {
+		sum += s.v
+	}
+	mean := sum / float64(n)
+	var sq float64
+	for _, s := range a.samples {
+		d := s.v - mean
+		sq += d * d
+	}
+
+	vals := make([]float64, n)
+	for i, s := range a.samples {
+		vals[i] = s.v
+	}
+	sort.Float64s(vals)
+
+	return Stats{
+		Count: n,
+		Mean:  mean,
+		Std:   math.Sqrt(sq / float64(n)),
+		Min:   vals[0],
+		Max:   vals[n-1],
+		P50:   percentile(vals, 0.50),
+		P90:   percentile(vals, 0.90),
+		P99:   percentile(vals, 0.99),
+	}
+}
+
+// percentile returns the nearest-rank percentile of the sorted slice:
+// the smallest value with at least q·n of the samples at or below it.
+func percentile(sorted []float64, q float64) float64 {
+	if len(sorted) == 0 {
+		return 0
+	}
+	rank := int(math.Ceil(q * float64(len(sorted))))
+	if rank < 1 {
+		rank = 1
+	}
+	if rank > len(sorted) {
+		rank = len(sorted)
+	}
+	return sorted[rank-1]
+}
+
+// CellAggregate is the per-cell summary emitted into artifacts.
+type CellAggregate struct {
+	Cell        string           `json:"cell"`
+	Trials      int              `json:"trials"`
+	Accepted    int              `json:"accepted"`
+	AcceptRatio float64          `json:"accept_ratio"`
+	Outcomes    map[string]int   `json:"outcomes"`
+	Metrics     map[string]Stats `json:"metrics"`
+}
+
+// collector streams trial results into per-cell aggregators.
+type collector struct {
+	mu    sync.Mutex
+	order []string
+	cells map[string]*cellAcc
+}
+
+type cellAcc struct {
+	trials   int
+	accepted int
+	outcomes map[string]int
+	aggs     map[string]*Agg
+}
+
+func newCollector(cellOrder []string) *collector {
+	c := &collector{order: cellOrder, cells: make(map[string]*cellAcc, len(cellOrder))}
+	for _, k := range cellOrder {
+		c.cells[k] = &cellAcc{outcomes: map[string]int{}, aggs: map[string]*Agg{}}
+	}
+	return c
+}
+
+// observe streams one finished trial. Counter updates and aggregator
+// lookups happen under the collector lock; the samples themselves go
+// through each Agg's own lock, outside it.
+func (c *collector) observe(r TrialResult) {
+	type obs struct {
+		agg *Agg
+		v   float64
+	}
+	var pending []obs
+	metrics := r.metrics()
+
+	c.mu.Lock()
+	acc := c.cells[r.Cell]
+	acc.trials++
+	acc.outcomes[r.Outcome]++
+	if r.Outcome == OutcomeOK {
+		acc.accepted++
+		pending = make([]obs, 0, len(metrics))
+		for name, v := range metrics {
+			agg := acc.aggs[name]
+			if agg == nil {
+				agg = &Agg{}
+				acc.aggs[name] = agg
+			}
+			pending = append(pending, obs{agg, v})
+		}
+	}
+	c.mu.Unlock()
+
+	for _, o := range pending {
+		o.agg.Observe(r.Index, o.v)
+	}
+}
+
+// finalize folds every cell in enumeration order.
+func (c *collector) finalize() []CellAggregate {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	out := make([]CellAggregate, 0, len(c.order))
+	for _, k := range c.order {
+		acc := c.cells[k]
+		ca := CellAggregate{
+			Cell:     k,
+			Trials:   acc.trials,
+			Accepted: acc.accepted,
+			Outcomes: acc.outcomes,
+			Metrics:  make(map[string]Stats, len(acc.aggs)),
+		}
+		if acc.trials > 0 {
+			ca.AcceptRatio = float64(acc.accepted) / float64(acc.trials)
+		}
+		for name, agg := range acc.aggs {
+			ca.Metrics[name] = agg.Finalize()
+		}
+		out = append(out, ca)
+	}
+	return out
+}

@@ -1,0 +1,83 @@
+package campaign
+
+import (
+	"math"
+	"sync"
+	"testing"
+)
+
+func TestAggEmpty(t *testing.T) {
+	var a Agg
+	s := a.Finalize()
+	if s != (Stats{}) {
+		t.Fatalf("empty aggregator: got %+v, want zero Stats", s)
+	}
+}
+
+func TestAggSingle(t *testing.T) {
+	var a Agg
+	a.Observe(0, 7)
+	s := a.Finalize()
+	want := Stats{Count: 1, Mean: 7, Std: 0, Min: 7, Max: 7, P50: 7, P90: 7, P99: 7}
+	if s != want {
+		t.Fatalf("single sample: got %+v, want %+v", s, want)
+	}
+}
+
+func TestAggStats(t *testing.T) {
+	// 1..100 observed in reverse order: Finalize must sort by index.
+	var a Agg
+	for i := 99; i >= 0; i-- {
+		a.Observe(i, float64(i+1))
+	}
+	s := a.Finalize()
+	if s.Count != 100 || s.Mean != 50.5 || s.Min != 1 || s.Max != 100 {
+		t.Fatalf("count/mean/min/max: got %+v", s)
+	}
+	// Population std of 1..100: sqrt((100²−1)/12) ≈ 28.866.
+	if math.Abs(s.Std-28.86607004772212) > 1e-12 {
+		t.Fatalf("std: got %v", s.Std)
+	}
+	// Nearest-rank percentiles over 1..100 are exact.
+	if s.P50 != 50 || s.P90 != 90 || s.P99 != 99 {
+		t.Fatalf("percentiles: got p50=%v p90=%v p99=%v", s.P50, s.P90, s.P99)
+	}
+}
+
+func TestPercentileSmall(t *testing.T) {
+	vals := []float64{1, 2, 3}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.01, 1}, {0.34, 2}, {0.5, 2}, {0.67, 3}, {0.99, 3}, {1, 3},
+	} {
+		if got := percentile(vals, tc.q); got != tc.want {
+			t.Errorf("percentile(q=%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+	if got := percentile(nil, 0.5); got != 0 {
+		t.Errorf("percentile(empty) = %v, want 0", got)
+	}
+}
+
+// TestAggConcurrent checks that concurrent Observe calls lose nothing
+// and that the aggregate equals the serial one (run with -race).
+func TestAggConcurrent(t *testing.T) {
+	const n = 1000
+	var par, ser Agg
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; i < n; i += 8 {
+				par.Observe(i, float64(i%17))
+			}
+		}(w)
+	}
+	wg.Wait()
+	for i := 0; i < n; i++ {
+		ser.Observe(i, float64(i%17))
+	}
+	if got, want := par.Finalize(), ser.Finalize(); got != want {
+		t.Fatalf("concurrent vs serial: %+v != %+v", got, want)
+	}
+}

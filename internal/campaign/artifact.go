@@ -1,0 +1,124 @@
+package campaign
+
+import (
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// JSON renders the artifact: the normalised spec, per-cell aggregates,
+// and every trial, indented for diffability. Map keys are emitted
+// sorted by encoding/json and all numbers come from a deterministic
+// fold, so two runs of the same spec produce byte-identical output at
+// any worker count.
+func (r *Result) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// WriteCSV emits the per-cell aggregates in long form, one row per
+// (cell, metric) pair:
+//
+//	cell,metric,count,mean,std,min,max,p50,p90,p99
+//
+// plus one acceptance row per cell with metric "accept_ratio" (count =
+// trials, mean = ratio, the remaining stat columns empty).
+func (r *Result) WriteCSV(w io.Writer) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"cell", "metric", "count", "mean", "std", "min", "max", "p50", "p90", "p99"}); err != nil {
+		return err
+	}
+	for _, c := range r.Cells {
+		if err := cw.Write([]string{
+			c.Cell, "accept_ratio", strconv.Itoa(c.Trials), ff(c.AcceptRatio),
+			"", "", "", "", "", "",
+		}); err != nil {
+			return err
+		}
+		names := make([]string, 0, len(c.Metrics))
+		for name := range c.Metrics {
+			names = append(names, name)
+		}
+		sort.Strings(names)
+		for _, name := range names {
+			s := c.Metrics[name]
+			if err := cw.Write([]string{
+				c.Cell, name, strconv.Itoa(s.Count),
+				ff(s.Mean), ff(s.Std), ff(s.Min), ff(s.Max),
+				ff(s.P50), ff(s.P90), ff(s.P99),
+			}); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ff formats a float with the shortest exact representation.
+func ff(v float64) string { return strconv.FormatFloat(v, 'g', -1, 64) }
+
+// Table renders a human-readable per-cell summary.
+func (r *Result) Table() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "campaign %q: %d trials, %d cells",
+		r.Spec.Name, len(r.Trials), len(r.Cells))
+	if r.Workers > 0 {
+		fmt.Fprintf(&b, ", %d workers, %s", r.Workers, r.Elapsed.Round(1e6))
+	}
+	b.WriteString("\n")
+	fmt.Fprintf(&b, "%-36s %7s %8s %8s %12s %12s %8s\n",
+		"cell", "accept", "gain", "Δmk", "imbal b→a", "idle b→a", "reuse")
+	for _, c := range r.Cells {
+		m := c.Metrics
+		imbal := fmt.Sprintf("%.2f→%.2f", m["mem_imbal_before"].Mean, m["mem_imbal_after"].Mean)
+		idle := fmt.Sprintf("%.0f%%→%.0f%%", 100*m["idle_before"].Mean, 100*m["idle_after"].Mean)
+		fmt.Fprintf(&b, "%-36s %6.0f%% %8.1f %8.1f %12s %12s %7.0f%%\n",
+			c.Cell, 100*c.AcceptRatio,
+			m["gain"].Mean,
+			m["makespan_before"].Mean-m["makespan_after"].Mean,
+			imbal, idle,
+			100*m["reuse_savings"].Mean)
+	}
+	return b.String()
+}
+
+// WriteArtifacts writes <name>.json and <name>.csv under dir, creating
+// it if needed, and returns both paths.
+func (r *Result) WriteArtifacts(dir string) (jsonPath, csvPath string, err error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", "", err
+	}
+	jsonPath = filepath.Join(dir, r.Spec.Name+".json")
+	csvPath = filepath.Join(dir, r.Spec.Name+".csv")
+
+	data, err := r.JSON()
+	if err != nil {
+		return "", "", err
+	}
+	if err := os.WriteFile(jsonPath, data, 0o644); err != nil {
+		return "", "", err
+	}
+
+	f, err := os.Create(csvPath)
+	if err != nil {
+		return "", "", err
+	}
+	if err := r.WriteCSV(f); err != nil {
+		f.Close()
+		return "", "", err
+	}
+	if err := f.Close(); err != nil {
+		return "", "", err
+	}
+	return jsonPath, csvPath, nil
+}

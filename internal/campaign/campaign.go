@@ -1,0 +1,49 @@
+// Package campaign is a deterministic, parallel experiment-campaign
+// engine for the reproduction's evaluation pipeline. A campaign fans a
+// sweep specification — the cross product of generator configurations
+// (task counts × utilisations), architectures (processor counts), cost
+// policies, and random seeds — out over a pool of worker goroutines.
+// Each trial runs the full pipeline
+//
+//	generate → schedule → balance → simulate (before/after) → analyze
+//
+// and streams its result into thread-safe aggregators (mean, stddev,
+// min, max, and percentiles per metric, plus acceptance accounting).
+//
+// Determinism: every trial is identified by its index in the
+// enumeration order of the spec's grid, carries its own seed, and
+// touches no shared mutable state while running. Aggregators record
+// (index, value) pairs and sort by index before folding, so the
+// aggregates — and the emitted JSON/CSV artifacts — are bit-identical
+// regardless of the worker count. This is what lets `lbfarm -workers N`
+// scale with the hardware without perturbing any published number.
+//
+// The subsystem serves the paper's own scaling claim (Kermia & Sorel
+// validate the heuristic on "several thousands of tasks and tens of
+// processors"): sweeps that used to run serially in cmd/lbbench now
+// run one trial per worker, embarrassingly parallel.
+package campaign
+
+import (
+	"runtime"
+	"time"
+)
+
+// Run executes the spec on GOMAXPROCS workers. It is the convenience
+// entry point; use an explicit Engine to control the worker count.
+func Run(spec *Spec) (*Result, error) {
+	return (&Engine{Workers: runtime.GOMAXPROCS(0)}).Run(spec)
+}
+
+// Result is the outcome of one campaign: the effective (normalised)
+// spec, every trial in enumeration order, and the per-cell aggregates.
+// Workers and Elapsed describe the run itself and are deliberately kept
+// out of the JSON artifact so that artifacts from different worker
+// counts and machines compare byte-for-byte.
+type Result struct {
+	Spec    Spec            `json:"spec"`
+	Cells   []CellAggregate `json:"cells"`
+	Trials  []TrialResult   `json:"trials"`
+	Workers int             `json:"-"`
+	Elapsed time.Duration   `json:"-"`
+}

@@ -1,0 +1,200 @@
+package campaign
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/arch"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/metrics"
+	"repro/internal/model"
+	"repro/internal/sched"
+	"repro/internal/sim"
+)
+
+// Trial outcomes. A trial that fails before producing a balanced,
+// simulated schedule is rejected with the stage that refused it; only
+// OutcomeOK trials feed the metric aggregators. The acceptance ratio is
+// itself a published quantity (random instances are not always
+// schedulable on the given architecture).
+const (
+	OutcomeOK            = "ok"
+	OutcomeGenError      = "gen-error"
+	OutcomeArchError     = "arch-error"
+	OutcomeUnschedulable = "unschedulable"
+	OutcomeBalanceError  = "balance-error"
+	OutcomeSimError      = "sim-error"
+)
+
+// TrialResult is the analyzable outcome of one pipeline run. The
+// metric fields are emitted unconditionally — a measured zero (Gain=0
+// is common) must stay distinguishable from "not measured"; consumers
+// use Outcome, not field presence, to tell accepted trials apart.
+type TrialResult struct {
+	Index   int    `json:"index"`
+	Cell    string `json:"cell"`
+	Seed    int64  `json:"seed"`
+	Outcome string `json:"outcome"`
+
+	Gain           model.Time `json:"gain"`
+	MakespanBefore model.Time `json:"makespan_before"`
+	MakespanAfter  model.Time `json:"makespan_after"`
+	MaxMemBefore   model.Mem  `json:"max_mem_before"`
+	MaxMemAfter    model.Mem  `json:"max_mem_after"`
+	MemImbalBefore float64    `json:"mem_imbal_before"`
+	MemImbalAfter  float64    `json:"mem_imbal_after"`
+	LoadImbalAfter float64    `json:"load_imbal_after"`
+	IdleBefore     float64    `json:"idle_before"`
+	IdleAfter      float64    `json:"idle_after"`
+
+	// Reuse-vs-paper memory accounting (internal/sim/reuse.go), totalled
+	// across processors on the balanced schedule.
+	PaperMem     model.Mem `json:"paper_mem"`
+	ReuseMem     model.Mem `json:"reuse_mem"`
+	ReuseSavings float64   `json:"reuse_savings"`
+
+	Moves      int `json:"moves"`
+	Blocks     int `json:"blocks"`
+	Forced     int `json:"forced"`
+	RelaxedLCM int `json:"relaxed_lcm"`
+}
+
+// metrics returns the aggregated quantities of an accepted trial,
+// keyed by the names that appear in artifacts.
+func (r TrialResult) metrics() map[string]float64 {
+	if r.Outcome != OutcomeOK {
+		return nil
+	}
+	return map[string]float64{
+		"gain":             float64(r.Gain),
+		"makespan_before":  float64(r.MakespanBefore),
+		"makespan_after":   float64(r.MakespanAfter),
+		"max_mem_before":   float64(r.MaxMemBefore),
+		"max_mem_after":    float64(r.MaxMemAfter),
+		"mem_imbal_before": r.MemImbalBefore,
+		"mem_imbal_after":  r.MemImbalAfter,
+		"load_imbal_after": r.LoadImbalAfter,
+		"idle_before":      r.IdleBefore,
+		"idle_after":       r.IdleAfter,
+		"paper_mem":        float64(r.PaperMem),
+		"reuse_mem":        float64(r.ReuseMem),
+		"reuse_savings":    r.ReuseSavings,
+		"moves":            float64(r.Moves),
+		"blocks":           float64(r.Blocks),
+		"forced":           float64(r.Forced),
+		"relaxed_lcm":      float64(r.RelaxedLCM),
+	}
+}
+
+// Engine runs campaigns over a fixed-size worker pool.
+type Engine struct {
+	// Workers is the pool size; ≤ 0 means GOMAXPROCS.
+	Workers int
+}
+
+// Run executes every trial of the spec and returns the deterministic
+// result. The spec is normalised in place.
+func (e *Engine) Run(spec *Spec) (*Result, error) {
+	trials, err := spec.Trials()
+	if err != nil {
+		return nil, err
+	}
+	order := cellOrder(trials)
+	workers := e.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+
+	coll := newCollector(order)
+	start := time.Now()
+	results := Map(len(trials), workers, func(i int) TrialResult {
+		r := RunTrial(trials[i])
+		coll.observe(r)
+		return r
+	})
+	return &Result{
+		Spec:    *spec,
+		Cells:   coll.finalize(),
+		Trials:  results,
+		Workers: workers,
+		Elapsed: time.Since(start),
+	}, nil
+}
+
+// RunTrial executes the full pipeline for one trial. It touches no
+// state outside the trial, so any number of calls may run concurrently.
+func RunTrial(t Trial) TrialResult {
+	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
+
+	ts, err := gen.Generate(t.Gen)
+	if err != nil {
+		r.Outcome = OutcomeGenError
+		return r
+	}
+	ar, err := arch.New(t.Procs, t.Comm)
+	if err != nil {
+		r.Outcome = OutcomeArchError
+		return r
+	}
+	s, err := sched.NewScheduler(ts, ar).Run()
+	if err != nil {
+		r.Outcome = OutcomeUnschedulable
+		return r
+	}
+	is := sched.FromSchedule(s)
+
+	repBefore, err := (&sim.Runner{}).Run(is)
+	if err != nil {
+		r.Outcome = OutcomeSimError
+		return r
+	}
+
+	bal := core.Balancer{Policy: t.Policy, IgnoreTiming: t.ignoreTiming}
+	res, err := bal.Run(is)
+	if err != nil {
+		r.Outcome = OutcomeBalanceError
+		return r
+	}
+
+	repAfter, err := (&sim.Runner{}).Run(res.Schedule)
+	if err != nil {
+		r.Outcome = OutcomeSimError
+		return r
+	}
+	reuse := sim.MinMemoryWithReuse(res.Schedule)
+
+	before := summarize(res.MakespanBefore, res.MemBefore, repBefore)
+	after := summarize(res.MakespanAfter, res.MemAfter, repAfter)
+
+	r.Outcome = OutcomeOK
+	r.Gain = res.GainTotal()
+	r.MakespanBefore = before.Makespan
+	r.MakespanAfter = after.Makespan
+	r.MaxMemBefore = before.MaxMem
+	r.MaxMemAfter = after.MaxMem
+	r.MemImbalBefore = before.MemImbal
+	r.MemImbalAfter = after.MemImbal
+	r.LoadImbalAfter = after.LoadImbal
+	r.IdleBefore = before.IdleRatio
+	r.IdleAfter = after.IdleRatio
+	for i := range reuse.Paper {
+		r.PaperMem += reuse.Paper[i]
+		r.ReuseMem += reuse.Reuse[i]
+	}
+	r.ReuseSavings = reuse.Savings()
+	r.Moves = len(res.Moves)
+	r.Blocks = len(res.Blocks)
+	r.Forced = res.Forced
+	r.RelaxedLCM = res.RelaxedLCM
+	return r
+}
+
+// summarize assembles the metrics.Summary for one distribution.
+func summarize(makespan model.Time, mem []model.Mem, rep *sim.Report) metrics.Summary {
+	load := make([]model.Time, len(rep.Procs))
+	for i := range rep.Procs {
+		load[i] = rep.Procs[i].Busy
+	}
+	return metrics.Collect(makespan, mem, load, rep.IdleRatio)
+}

@@ -1,0 +1,47 @@
+package campaign
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// Map runs fn(0) … fn(n−1) across a pool of worker goroutines and
+// returns the results in index order. workers ≤ 0 means GOMAXPROCS.
+// fn must be safe for concurrent invocation; each index is claimed by
+// exactly one worker via an atomic counter, so the result slice — and
+// anything folded from it in index order — is identical for every
+// worker count.
+//
+// This is the sharding primitive under Engine.Run, and the drop-in
+// replacement for the serial per-seed loops the evaluation binaries
+// used to hand-roll.
+func Map[T any](n, workers int, fn func(int) T) []T {
+	if n <= 0 {
+		return nil
+	}
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > n {
+		workers = n
+	}
+	out := make([]T, n)
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	wg.Add(workers)
+	for w := 0; w < workers; w++ {
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				out[i] = fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+	return out
+}

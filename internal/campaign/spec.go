@@ -1,0 +1,256 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/model"
+)
+
+// Spec describes one sweep: the grid of generator configurations,
+// architectures, and balancer policies, and how many seeds to run per
+// grid cell. The zero value (plus Normalize) is a small smoke sweep.
+//
+// The grid is Tasks × Utilization × Procs × Policies; each cell runs
+// Seeds trials with seeds SeedBase … SeedBase+Seeds−1. Trial
+// enumeration order — and therefore every artifact — is fully
+// determined by the spec, never by the worker count.
+type Spec struct {
+	Name string `json:"name"`
+
+	// Seeds per cell (default 20) starting at SeedBase (default 0).
+	Seeds    int   `json:"seeds"`
+	SeedBase int64 `json:"seed_base"`
+
+	// Grid axes. Empty axes get one default entry.
+	Tasks       []int     `json:"tasks"`       // default {40}
+	Utilization []float64 `json:"utilization"` // default {2.5}
+	Procs       []int     `json:"procs"`       // default {4}
+	Policies    []string  `json:"policies"`    // default {"lexicographic"}
+
+	// Shared generator knobs (see gen.Config); zero values defer to the
+	// generator's own defaults. EdgeProb < 0 requests an edge-free
+	// system (an explicit zero is indistinguishable from unset in JSON).
+	Periods     []model.Time `json:"periods,omitempty"`
+	EdgeProb    float64      `json:"edge_prob,omitempty"`
+	MaxInDegree int          `json:"max_in_degree,omitempty"`
+	MemMin      model.Mem    `json:"mem_min,omitempty"`
+	MemMax      model.Mem    `json:"mem_max,omitempty"`
+
+	// CommTime is the architecture's per-datum transfer time C
+	// (default 1, the paper's setting).
+	CommTime model.Time `json:"comm_time"`
+
+	// IgnoreTiming runs the balancer in the §5.2 memory-only regime
+	// where timing filters are disabled (Theorem 2's setting).
+	IgnoreTiming bool `json:"ignore_timing,omitempty"`
+}
+
+// Trial is one fully-resolved pipeline run: a point of the spec grid
+// plus one seed. Index is the position in enumeration order and is the
+// determinism anchor for aggregation.
+type Trial struct {
+	Index  int
+	Cell   string
+	Gen    gen.Config
+	Procs  int
+	Comm   model.Time
+	Policy core.Policy
+
+	ignoreTiming bool
+}
+
+// Normalize fills defaults in place and validates the spec.
+func (s *Spec) Normalize() error {
+	if s.Name == "" {
+		s.Name = "campaign"
+	}
+	if s.Seeds == 0 {
+		s.Seeds = 20
+	}
+	if s.Seeds < 0 {
+		return fmt.Errorf("campaign: negative seed count %d", s.Seeds)
+	}
+	if len(s.Tasks) == 0 {
+		s.Tasks = []int{40}
+	}
+	if len(s.Utilization) == 0 {
+		s.Utilization = []float64{2.5}
+	}
+	if len(s.Procs) == 0 {
+		s.Procs = []int{4}
+	}
+	if len(s.Policies) == 0 {
+		s.Policies = []string{"lexicographic"}
+	}
+	if s.CommTime == 0 {
+		s.CommTime = 1
+	}
+	// Resolve the shared generator knobs to their effective values so
+	// the persisted spec in artifacts is fully explicit. The edge-free
+	// sentinel (EdgeProb < 0) is kept as-is: collapsing it to 0 here
+	// would read as "unset" on a second Normalize and resurrect the
+	// generator default.
+	g := gen.Config{
+		Periods:     s.Periods,
+		EdgeProb:    s.EdgeProb,
+		MaxInDegree: s.MaxInDegree,
+		MemMin:      s.MemMin,
+		MemMax:      s.MemMax,
+	}.Normalized()
+	s.Periods = g.Periods
+	if s.EdgeProb >= 0 {
+		s.EdgeProb = g.EdgeProb
+	}
+	s.MaxInDegree = g.MaxInDegree
+	s.MemMin = g.MemMin
+	s.MemMax = g.MemMax
+	for _, n := range s.Tasks {
+		if n < 1 {
+			return fmt.Errorf("campaign: task count %d < 1", n)
+		}
+	}
+	for _, m := range s.Procs {
+		if m < 1 {
+			return fmt.Errorf("campaign: processor count %d < 1", m)
+		}
+	}
+	for _, p := range s.Policies {
+		if _, err := ParsePolicy(p); err != nil {
+			return err
+		}
+	}
+	// Duplicate axis values would enumerate identical grid points that
+	// share one cell key, double-counting every seed in the aggregates.
+	if err := noDups("tasks", s.Tasks); err != nil {
+		return err
+	}
+	if err := noDups("utilization", s.Utilization); err != nil {
+		return err
+	}
+	if err := noDups("procs", s.Procs); err != nil {
+		return err
+	}
+	if err := noDups("policies", s.Policies); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Trials enumerates the grid in deterministic order:
+// tasks ▸ utilization ▸ procs ▸ policy ▸ seed.
+func (s *Spec) Trials() ([]Trial, error) {
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	var out []Trial
+	for _, n := range s.Tasks {
+		for _, u := range s.Utilization {
+			for _, m := range s.Procs {
+				for _, pol := range s.Policies {
+					policy, err := ParsePolicy(pol)
+					if err != nil {
+						return nil, err
+					}
+					cell := fmt.Sprintf("N=%d/U=%g/M=%d/%s", n, u, m, pol)
+					for k := 0; k < s.Seeds; k++ {
+						out = append(out, Trial{
+							Index: len(out),
+							Cell:  cell,
+							Gen: gen.Config{
+								Seed:        s.SeedBase + int64(k),
+								Tasks:       n,
+								Utilization: u,
+								Periods:     s.Periods,
+								EdgeProb:    s.EdgeProb,
+								MaxInDegree: s.MaxInDegree,
+								MemMin:      s.MemMin,
+								MemMax:      s.MemMax,
+							},
+							Procs:        m,
+							Comm:         s.CommTime,
+							Policy:       policy,
+							ignoreTiming: s.IgnoreTiming,
+						})
+					}
+				}
+			}
+		}
+	}
+	if len(out) == 0 {
+		return nil, fmt.Errorf("campaign: spec %q enumerates no trials", s.Name)
+	}
+	return out, nil
+}
+
+// CellOrder returns the distinct cell keys in enumeration order.
+func (s *Spec) CellOrder() ([]string, error) {
+	trials, err := s.Trials()
+	if err != nil {
+		return nil, err
+	}
+	return cellOrder(trials), nil
+}
+
+// cellOrder extracts the distinct cell keys of an already-enumerated
+// trial list, preserving first appearance.
+func cellOrder(trials []Trial) []string {
+	var order []string
+	seen := map[string]bool{}
+	for _, t := range trials {
+		if !seen[t.Cell] {
+			seen[t.Cell] = true
+			order = append(order, t.Cell)
+		}
+	}
+	return order
+}
+
+// LoadSpec reads a JSON sweep specification from path. Unknown keys
+// are rejected: a typoed axis name would otherwise silently run the
+// default grid and emit a normal-looking artifact for the wrong sweep.
+func LoadSpec(path string) (*Spec, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	var s Spec
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("campaign: parsing %s: %w", path, err)
+	}
+	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// noDups rejects repeated values on one grid axis.
+func noDups[T comparable](axis string, vals []T) error {
+	seen := make(map[T]bool, len(vals))
+	for _, v := range vals {
+		if seen[v] {
+			return fmt.Errorf("campaign: duplicate %s value %v", axis, v)
+		}
+		seen[v] = true
+	}
+	return nil
+}
+
+// ParsePolicy maps a spec policy name to the balancer constant.
+func ParsePolicy(name string) (core.Policy, error) {
+	switch name {
+	case "lexicographic", "":
+		return core.PolicyLexicographic, nil
+	case "ratio":
+		return core.PolicyRatio, nil
+	case "memory-only":
+		return core.PolicyMemoryOnly, nil
+	}
+	return 0, fmt.Errorf("campaign: unknown policy %q (want lexicographic|ratio|memory-only)", name)
+}

@@ -32,7 +32,9 @@ type Config struct {
 
 	// EdgeProb is the probability of adding a dependence from an earlier
 	// task to a later one when their periods are harmonic (chains form the
-	// blocks the heuristic moves). Default 0.3.
+	// blocks the heuristic moves). Default 0.3. A negative value requests
+	// an edge-free system — the zero value means "unset", so an explicit
+	// probability of zero needs a sentinel.
 	EdgeProb float64
 
 	// MaxInDegree bounds producers per task. Default 3.
@@ -49,7 +51,9 @@ func (c *Config) fill() {
 	if c.Utilization == 0 {
 		c.Utilization = 2.0
 	}
-	if c.EdgeProb == 0 {
+	if c.EdgeProb < 0 {
+		c.EdgeProb = 0
+	} else if c.EdgeProb == 0 {
 		c.EdgeProb = 0.3
 	}
 	if c.MaxInDegree == 0 {
@@ -125,6 +129,14 @@ func Generate(cfg Config) (*model.TaskSet, error) {
 		return nil, err
 	}
 	return ts, nil
+}
+
+// Normalized returns a copy of the configuration with every default
+// filled in, so callers (the campaign engine, artifact writers) can
+// persist or display the effective generator parameters.
+func (c Config) Normalized() Config {
+	c.fill()
+	return c
 }
 
 // MustGenerate is Generate that panics on error.

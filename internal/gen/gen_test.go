@@ -103,3 +103,22 @@ func TestGenerateUtilizationRoughlyMet(t *testing.T) {
 		t.Errorf("utilization %v too far from target 3", u)
 	}
 }
+
+func TestNormalized(t *testing.T) {
+	n := Config{}.Normalized()
+	if len(n.Periods) == 0 || n.Utilization == 0 || n.EdgeProb == 0 ||
+		n.MaxInDegree == 0 || n.MemMin == 0 || n.MemMax == 0 {
+		t.Fatalf("defaults not filled: %+v", n)
+	}
+	// Explicit values survive.
+	c := Config{Periods: []model.Time{5, 10}, MemMax: 3}.Normalized()
+	if len(c.Periods) != 2 || c.MemMax != 3 {
+		t.Fatalf("explicit values overwritten: %+v", c)
+	}
+	// Normalized is a copy: the receiver is untouched.
+	var z Config
+	_ = z.Normalized()
+	if z.MaxInDegree != 0 {
+		t.Fatal("Normalized mutated its receiver")
+	}
+}

@@ -21,6 +21,23 @@ type Summary struct {
 	IdleRatio  float64
 }
 
+// Collect assembles the Summary of one distribution from its
+// observables: the schedule makespan, the per-processor memory and
+// busy-time vectors, and the simulator's idle ratio. It is the single
+// construction point the campaign engine and the evaluation binaries
+// share, so every experiment publishes the same derived quantities.
+func Collect(makespan model.Time, mem []model.Mem, load []model.Time, idleRatio float64) Summary {
+	return Summary{
+		Makespan:   makespan,
+		MaxMem:     MaxMem(mem),
+		MemVector:  mem,
+		MemImbal:   MemImbalance(mem),
+		LoadVector: load,
+		LoadImbal:  LoadImbalance(load),
+		IdleRatio:  idleRatio,
+	}
+}
+
 // MemImbalance returns max/mean of the vector; 1 means perfectly even, 0
 // for an empty or all-zero vector.
 func MemImbalance(v []model.Mem) float64 {

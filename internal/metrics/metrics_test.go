@@ -46,3 +46,18 @@ func TestFormatMemVector(t *testing.T) {
 		t.Errorf("FormatMemVector = %q, want %q", got, want)
 	}
 }
+
+func TestCollect(t *testing.T) {
+	mem := []model.Mem{4, 8, 4}
+	load := []model.Time{10, 20, 10}
+	s := Collect(42, mem, load, 0.25)
+	if s.Makespan != 42 || s.MaxMem != 8 || s.IdleRatio != 0.25 {
+		t.Fatalf("scalar fields: %+v", s)
+	}
+	if s.MemImbal != MemImbalance(mem) || s.LoadImbal != LoadImbalance(load) {
+		t.Fatalf("imbalance fields: %+v", s)
+	}
+	if len(s.MemVector) != 3 || len(s.LoadVector) != 3 {
+		t.Fatalf("vector fields: %+v", s)
+	}
+}
