@@ -31,18 +31,47 @@ import (
 	"repro/internal/metrics"
 	"repro/internal/model"
 	"repro/internal/partition"
+	"repro/internal/profiling"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
+
+// flushProfile stops any active pprof capture; experiment bodies abort
+// via fatal/fatalf so -cpuprofile stays parseable even on failure
+// (log.Fatal's os.Exit would skip the deferred flush in main).
+var flushProfile = func() {}
+
+func fatal(v ...any) {
+	flushProfile()
+	log.Fatal(v...)
+}
+
+func fatalf(format string, v ...any) {
+	flushProfile()
+	log.Fatalf(format, v...)
+}
 
 func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbbench: ")
 	var (
-		exp   = flag.String("exp", "all", "experiment: E2|E3|E4|E5|E6|E7|E8|E9|all")
-		seeds = flag.Int("seeds", 20, "random seeds per configuration")
+		exp     = flag.String("exp", "all", "experiment: E2|E3|E4|E5|E6|E7|E8|E9|all")
+		seeds   = flag.Int("seeds", 20, "random seeds per configuration")
+		cpuProf = flag.String("cpuprofile", "", "write a CPU profile of the run to this file")
+		memProf = flag.String("memprofile", "", "write a heap profile taken after the run to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flushProfile = func() {
+		if err := stopProf(); err != nil {
+			log.Print(err)
+		}
+	}
+	defer flushProfile()
 
 	run := map[string]func(int){
 		"E2": e2, "E3": e3, "E4": e4, "E5": e5, "E6": e6, "E7": e7, "E8": e8, "E9": e9,
@@ -51,7 +80,7 @@ func main() {
 	if *exp != "all" {
 		f, ok := run[strings.ToUpper(*exp)]
 		if !ok {
-			log.Fatalf("unknown experiment %q", *exp)
+			fatalf("unknown experiment %q", *exp)
 		}
 		f(*seeds)
 		return
@@ -79,7 +108,7 @@ func e2(int) {
 		s.MustPlace(b, 1, 3*(n-1)+2)
 		rep, err := (&sim.Runner{}).Run(sched.FromSchedule(s))
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		fmt.Printf("%4d %12d %12d\n", n, rep.Procs[1].BufferPeak, n)
 	}
@@ -102,7 +131,7 @@ func e3(int) {
 			Periods: []model.Time{100, 200, 400},
 		})
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		ar := arch.MustNew(cfg.m, 1)
 		s, err := sched.NewScheduler(ts, ar).Run()
@@ -115,7 +144,7 @@ func e3(int) {
 		res, err := (&core.Balancer{}).Run(is)
 		el := time.Since(start)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		nb := len(res.Blocks)
 		fmt.Printf("%6d %4d %8d %10s %14.0f\n", cfg.n, cfg.m, nb, el.Round(time.Millisecond),
@@ -149,7 +178,7 @@ func e4(seeds int) {
 			}
 			g := res.GainTotal()
 			if g < 0 {
-				log.Fatalf("Gtotal < 0: the lower bound is violated (seed %d)", seed)
+				fatalf("Gtotal < 0: the lower bound is violated (seed %d)", seed)
 			}
 			runs++
 			if g < minG {
@@ -207,7 +236,7 @@ func e5(seeds int) {
 				return trial{}
 			}
 			if analysis.CheckTheorem2(res.Schedule.MaxMem(), opt, m) != nil {
-				log.Fatalf("Theorem 2 violated on seed %d, M=%d", seed, m)
+				fatalf("Theorem 2 violated on seed %d, M=%d", seed, m)
 			}
 			return trial{ok: true, alpha: a}
 		})
@@ -249,7 +278,7 @@ func e6(seeds int) {
 	}
 	res, err := campaign.Run(spec)
 	if err != nil {
-		log.Fatal(err)
+		fatal(err)
 	}
 	c := res.Cells[0]
 	m := c.Metrics

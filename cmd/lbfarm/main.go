@@ -24,7 +24,23 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/model"
+	"repro/internal/profiling"
 )
+
+// flushProfile stops any active pprof capture; every fatal exit routes
+// through it so -cpuprofile stays parseable even when the run aborts
+// (log.Fatal's os.Exit skips defers).
+var flushProfile = func() {}
+
+func fatal(v ...any) {
+	flushProfile()
+	log.Fatal(v...)
+}
+
+func fatalf(format string, v ...any) {
+	flushProfile()
+	log.Fatalf(format, v...)
+}
 
 func main() {
 	log.SetFlags(0)
@@ -43,14 +59,23 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		out      = flag.String("out", "artifacts", "artifact directory")
 		noTrials = flag.Bool("table-only", false, "print the table but write no artifacts")
+		noMemo   = flag.Bool("no-memo", false, "disable cross-policy prefix memoisation (one generate+schedule per policy cell instead of one per grid point; artifacts are identical either way)")
+		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 	)
 	flag.Parse()
+
+	stopProf, err := profiling.Start(*cpuProf, *memProf)
+	if err != nil {
+		log.Fatal(err)
+	}
+	flushProfile = func() { stopProf() }
 
 	var spec *campaign.Spec
 	if *specPath != "" {
 		s, err := campaign.LoadSpec(*specPath)
 		if err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 		spec = s
 	} else {
@@ -66,12 +91,15 @@ func main() {
 			CommTime:    model.Time(*comm),
 		}
 		if err := spec.Normalize(); err != nil {
-			log.Fatal(err)
+			fatal(err)
 		}
 	}
 
-	res, err := (&campaign.Engine{Workers: *workers}).Run(spec)
+	res, err := (&campaign.Engine{Workers: *workers, NoMemo: *noMemo}).Run(spec)
 	if err != nil {
+		fatal(err)
+	}
+	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Table())
@@ -101,7 +129,7 @@ func ints(s string) []int {
 	for _, p := range split(s) {
 		v, err := strconv.Atoi(p)
 		if err != nil {
-			log.Fatalf("bad integer %q", p)
+			fatalf("bad integer %q", p)
 		}
 		out = append(out, v)
 	}
@@ -113,7 +141,7 @@ func floats(s string) []float64 {
 	for _, p := range split(s) {
 		v, err := strconv.ParseFloat(p, 64)
 		if err != nil {
-			log.Fatalf("bad float %q", p)
+			fatalf("bad float %q", p)
 		}
 		out = append(out, v)
 	}
@@ -125,7 +153,7 @@ func times(s string) []model.Time {
 	for _, p := range split(s) {
 		v, err := strconv.ParseInt(p, 10, 64)
 		if err != nil {
-			log.Fatalf("bad period %q", p)
+			fatalf("bad period %q", p)
 		}
 		out = append(out, model.Time(v))
 	}

@@ -20,7 +20,8 @@
 package blocks
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/arch"
 	"repro/internal/model"
@@ -95,13 +96,20 @@ func (b *Block) HasInstance(iid model.InstanceID) bool {
 	return false
 }
 
-// Tasks returns the distinct task IDs present in the block.
+// Tasks returns the distinct task IDs present in the block. Blocks are
+// small (a handful of members), so the dedupe is a linear scan rather
+// than a map.
 func (b *Block) Tasks() []model.TaskID {
-	seen := make(map[model.TaskID]bool, len(b.Members))
-	var out []model.TaskID
+	out := make([]model.TaskID, 0, len(b.Members))
 	for _, m := range b.Members {
-		if !seen[m.Inst.Task] {
-			seen[m.Inst.Task] = true
+		dup := false
+		for _, t := range out {
+			if t == m.Inst.Task {
+				dup = true
+				break
+			}
+		}
+		if !dup {
 			out = append(out, m.Inst.Task)
 		}
 	}
@@ -116,52 +124,63 @@ func Build(is *sched.InstSchedule) []*Block {
 	c := is.Arch.CommTime
 	var all []*Block
 
+	// pos maps the dense instance index to the position on the current
+	// processor (-1 = elsewhere); entries are reset per processor so the
+	// array is allocated once.
+	pos := make([]int, ts.TotalInstances())
+	for i := range pos {
+		pos[i] = -1
+	}
+
 	for p := arch.ProcID(0); int(p) < is.Arch.Procs; p++ {
 		insts := is.InstancesOn(p)
 		if len(insts) == 0 {
 			continue
 		}
-		idx := make(map[model.InstanceID]int, len(insts))
 		for i, iid := range insts {
-			idx[iid] = i
+			pos[ts.InstanceIndex(iid)] = i
 		}
 		// Union instances linked by a dependence with slack < C.
 		uf := newUnionFind(len(insts))
 		for i, iid := range insts {
-			for _, src := range model.InstanceDeps(ts, iid.Task, iid.K) {
-				j, here := idx[src]
-				if !here {
-					continue
+			pl, _ := is.Placement(iid)
+			model.EachInstanceDep(ts, iid.Task, iid.K, func(src model.InstanceID) {
+				j := pos[ts.InstanceIndex(src)]
+				if j < 0 {
+					return
 				}
-				pl, _ := is.Placement(iid)
 				if pl.Start < is.End(src)+c {
 					uf.union(i, j)
 				}
-			}
+			})
 		}
-		groups := make(map[int][]model.InstanceID)
+		groups := make([][]model.InstanceID, len(insts))
 		for i, iid := range insts {
 			r := uf.find(i)
 			groups[r] = append(groups[r], iid)
 		}
 		for _, g := range groups {
-			all = append(all, newBlock(is, p, g))
+			if len(g) > 0 {
+				all = append(all, newBlock(is, p, g))
+			}
+		}
+		for _, iid := range insts {
+			pos[ts.InstanceIndex(iid)] = -1
 		}
 	}
 
-	sort.Slice(all, func(i, j int) bool {
-		a, b := all[i], all[j]
-		if a.Start() != b.Start() {
-			return a.Start() < b.Start()
+	slices.SortFunc(all, func(a, b *Block) int {
+		if c := cmp.Compare(a.Start(), b.Start()); c != 0 {
+			return c
 		}
-		if a.Proc != b.Proc {
-			return a.Proc < b.Proc
+		if c := cmp.Compare(a.Proc, b.Proc); c != 0 {
+			return c
 		}
 		ai, bi := a.Members[0].Inst, b.Members[0].Inst
-		if ai.Task != bi.Task {
-			return ai.Task < bi.Task
+		if c := cmp.Compare(ai.Task, bi.Task); c != 0 {
+			return c
 		}
-		return ai.K < bi.K
+		return cmp.Compare(ai.K, bi.K)
 	})
 	for i, b := range all {
 		b.ID = i
@@ -178,15 +197,14 @@ func newBlock(is *sched.InstSchedule, p arch.ProcID, g []model.InstanceID) *Bloc
 		b.exec += ts.Task(iid.Task).WCET
 		b.mem += ts.Task(iid.Task).Mem
 	}
-	sort.Slice(b.Members, func(i, j int) bool {
-		a, c := b.Members[i], b.Members[j]
-		if a.Start != c.Start {
-			return a.Start < c.Start
+	slices.SortFunc(b.Members, func(a, c Member) int {
+		if d := cmp.Compare(a.Start, c.Start); d != 0 {
+			return d
 		}
-		if a.Inst.Task != c.Inst.Task {
-			return a.Inst.Task < c.Inst.Task
+		if d := cmp.Compare(a.Inst.Task, c.Inst.Task); d != 0 {
+			return d
 		}
-		return a.Inst.K < c.Inst.K
+		return cmp.Compare(a.Inst.K, c.Inst.K)
 	})
 	// Category 2 when the first member is a later instance of its task
 	// (§3.1: "a block whose the first task is another instance than the

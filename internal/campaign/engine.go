@@ -91,6 +91,15 @@ func (r TrialResult) metrics() map[string]float64 {
 type Engine struct {
 	// Workers is the pool size; ≤ 0 means GOMAXPROCS.
 	Workers int
+
+	// NoMemo disables cross-policy prefix memoisation. By default the
+	// engine computes the generate→schedule→simulate prefix once per
+	// (generator config, processors, comm time) and hands every policy
+	// cell sharing it a cheap clone; trials then differ only in the
+	// balancing suffix. The memoised and unmemoised paths produce
+	// byte-identical artifacts (the prefix computation is deterministic
+	// and clones share nothing mutable) — the determinism test pins this.
+	NoMemo bool
 }
 
 // Run executes every trial of the spec and returns the deterministic
@@ -106,10 +115,20 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	var cache *prefixCache
+	if !e.NoMemo {
+		cache = newPrefixCache(trials)
+	}
+
 	coll := newCollector(order)
 	start := time.Now()
 	results := Map(len(trials), workers, func(i int) TrialResult {
-		r := RunTrial(trials[i])
+		var r TrialResult
+		if cache != nil {
+			r = cache.runTrial(trials[i])
+		} else {
+			r = RunTrial(trials[i])
+		}
 		coll.observe(r)
 		return r
 	})
@@ -122,33 +141,48 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	}, nil
 }
 
-// RunTrial executes the full pipeline for one trial. It touches no
-// state outside the trial, so any number of calls may run concurrently.
-func RunTrial(t Trial) TrialResult {
-	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
+// trialPrefix is the policy-independent front of the pipeline: the
+// generated system scheduled by the greedy substrate and simulated once.
+// A nil schedule carries the failure outcome instead.
+type trialPrefix struct {
+	is        *sched.InstSchedule
+	repBefore *sim.Report
+	outcome   string // "" when the prefix succeeded
+}
 
+// runPrefix computes generate → schedule → simulate(before) for one
+// trial. Nothing in it depends on t.Policy (or the ignore-timing mode,
+// which only reaches the balancer), which is what makes the result
+// shareable across policy cells.
+func runPrefix(t Trial) trialPrefix {
 	ts, err := gen.Generate(t.Gen)
 	if err != nil {
-		r.Outcome = OutcomeGenError
-		return r
+		return trialPrefix{outcome: OutcomeGenError}
 	}
 	ar, err := arch.New(t.Procs, t.Comm)
 	if err != nil {
-		r.Outcome = OutcomeArchError
-		return r
+		return trialPrefix{outcome: OutcomeArchError}
 	}
 	s, err := sched.NewScheduler(ts, ar).Run()
 	if err != nil {
-		r.Outcome = OutcomeUnschedulable
-		return r
+		return trialPrefix{outcome: OutcomeUnschedulable}
 	}
 	is := sched.FromSchedule(s)
 
 	repBefore, err := (&sim.Runner{}).Run(is)
 	if err != nil {
-		r.Outcome = OutcomeSimError
-		return r
+		return trialPrefix{outcome: OutcomeSimError}
 	}
+	// Materialise the per-processor listings now so every clone inherits
+	// them instead of re-deriving its own.
+	is.InstancesOn(0)
+	return trialPrefix{is: is, repBefore: repBefore}
+}
+
+// finishTrial runs the policy-specific suffix (balance → simulate(after)
+// → analyze) on a private schedule.
+func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report) TrialResult {
+	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
 
 	bal := core.Balancer{Policy: t.Policy, IgnoreTiming: t.ignoreTiming}
 	res, err := bal.Run(is)
@@ -188,6 +222,17 @@ func RunTrial(t Trial) TrialResult {
 	r.Forced = res.Forced
 	r.RelaxedLCM = res.RelaxedLCM
 	return r
+}
+
+// RunTrial executes the full pipeline for one trial, with no
+// memoisation. It touches no state outside the trial, so any number of
+// calls may run concurrently.
+func RunTrial(t Trial) TrialResult {
+	pre := runPrefix(t)
+	if pre.outcome != "" {
+		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
+	}
+	return finishTrial(t, pre.is, pre.repBefore)
 }
 
 // summarize assembles the metrics.Summary for one distribution.

@@ -1,0 +1,87 @@
+package campaign
+
+import (
+	"fmt"
+	"sync"
+	"sync/atomic"
+)
+
+// memo.go memoises the policy-independent trial prefix across the policy
+// cells of a sweep. Every cell of a grid with P policies re-derives the
+// same generate→schedule→simulate prefix for each (generator config,
+// processors, comm) point; with memoisation the first trial to need a
+// prefix computes it once and the other P−1 receive a cheap clone of the
+// initial schedule (dense-slice copies, see sched.InstSchedule.Clone).
+//
+// Concurrency: the worker pool claims trials in arbitrary real-time
+// order, so the cache is keyed behind a mutex and each entry is filled
+// exactly once via sync.Once — a worker needing an in-flight prefix
+// blocks on the Once until it is ready. Results are byte-identical to
+// the unmemoised path because the prefix computation is deterministic
+// and nothing mutable is shared: the schedule is cloned per trial and
+// the before-report is read-only downstream.
+//
+// Memory: entries are dropped as soon as every trial sharing the prefix
+// has consumed it (a per-entry countdown initialised during enumeration),
+// so the resident set stays proportional to the in-flight prefixes, not
+// the whole sweep.
+
+type prefixEntry struct {
+	once sync.Once
+	pre  trialPrefix
+	refs atomic.Int64
+}
+
+type prefixCache struct {
+	mu      sync.Mutex
+	entries map[string]*prefixEntry
+}
+
+// prefixKey identifies the policy-independent part of a trial: the full
+// generator configuration plus the architecture. The generator config is
+// rendered whole (%+v walks every field) so a knob added to gen.Config
+// later is part of the key by construction — an enumerated field list
+// would silently alias trials differing only in the new knob.
+func prefixKey(t Trial) string {
+	return fmt.Sprintf("%+v|%d|%d", t.Gen, t.Procs, t.Comm)
+}
+
+// newPrefixCache pre-counts how many trials share each prefix so entries
+// can be evicted the moment the last sharer is done.
+func newPrefixCache(trials []Trial) *prefixCache {
+	c := &prefixCache{entries: make(map[string]*prefixEntry)}
+	for _, t := range trials {
+		key := prefixKey(t)
+		e, ok := c.entries[key]
+		if !ok {
+			e = &prefixEntry{}
+			c.entries[key] = e
+		}
+		e.refs.Add(1)
+	}
+	return c
+}
+
+// runTrial is the memoised equivalent of RunTrial.
+func (c *prefixCache) runTrial(t Trial) TrialResult {
+	key := prefixKey(t)
+	c.mu.Lock()
+	e := c.entries[key]
+	c.mu.Unlock()
+	if e == nil {
+		// Not enumerated up front (foreign trial): fall back to the
+		// unmemoised path rather than cache something never evicted.
+		return RunTrial(t)
+	}
+	e.once.Do(func() { e.pre = runPrefix(t) })
+	pre := e.pre
+	if e.refs.Add(-1) == 0 {
+		c.mu.Lock()
+		delete(c.entries, key)
+		c.mu.Unlock()
+	}
+	if pre.outcome != "" {
+		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
+	}
+	return finishTrial(t, pre.is.Clone(), pre.repBefore)
+}

@@ -1,0 +1,76 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestMemoDeterminism pins the memoisation contract: a memoised campaign
+// produces byte-identical JSON and CSV artifacts to the unmemoised path,
+// at 1, 2, and 8 workers. Running the suite under -race additionally
+// checks that concurrent trials sharing a prefix entry never touch
+// shared mutable state.
+func TestMemoDeterminism(t *testing.T) {
+	spec := smokeSpec()
+	ref, err := (&Engine{Workers: 1, NoMemo: true}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var refCSV bytes.Buffer
+	if err := ref.WriteCSV(&refCSV); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, workers := range []int{1, 2, 8} {
+		res, err := (&Engine{Workers: workers}).Run(smokeSpec())
+		if err != nil {
+			t.Fatalf("memoised workers=%d: %v", workers, err)
+		}
+		data, err := res.JSON()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refJSON, data) {
+			t.Fatalf("memoised workers=%d: JSON differs from unmemoised serial run (%d vs %d bytes)",
+				workers, len(data), len(refJSON))
+		}
+		var csv bytes.Buffer
+		if err := res.WriteCSV(&csv); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(refCSV.Bytes(), csv.Bytes()) {
+			t.Fatalf("memoised workers=%d: CSV differs from unmemoised serial run", workers)
+		}
+	}
+}
+
+// TestMemoEviction checks that prefix entries are dropped once every
+// sharing trial has run — the cache must not retain a whole sweep's
+// schedules.
+func TestMemoEviction(t *testing.T) {
+	spec := smokeSpec()
+	trials, err := spec.Trials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cache := newPrefixCache(trials)
+	distinct := len(cache.entries)
+	if distinct == 0 {
+		t.Fatal("no prefix entries")
+	}
+	// Each (seed, procs) point is shared by the two policies of the
+	// smoke spec: half as many prefixes as trials.
+	if want := len(trials) / 2; distinct != want {
+		t.Fatalf("distinct prefixes: %d, want %d", distinct, want)
+	}
+	for _, tr := range trials {
+		cache.runTrial(tr)
+	}
+	if n := len(cache.entries); n != 0 {
+		t.Fatalf("%d prefix entries survived the sweep, want 0", n)
+	}
+}

@@ -1,0 +1,81 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/blocks"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// TestEvaluateAllocFree pins the balancer's per-candidate evaluation —
+// the innermost hot path, run blocks×processors times per trial — at
+// zero allocations once the run-wide scratch is warm. Candidate slices
+// in particular must only appear under RecordCandidates.
+func TestEvaluateAllocFree(t *testing.T) {
+	ts, err := gen.Generate(gen.Config{Seed: 7, Tasks: 40, Utilization: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.MustNew(4, 1)
+	s, err := sched.NewScheduler(ts, ar).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := sched.FromSchedule(s)
+
+	// Replicate the runPass prologue up to the first block's evaluation.
+	blks := blocks.Build(is)
+	st := &balState{
+		intervals:  make([][]ivl, ar.Procs),
+		firstStart: make([]model.Time, ar.Procs),
+		memSum:     make([]model.Mem, ar.Procs),
+		anyMoved:   make([]bool, ar.Procs),
+		resv:       make([][]*blocks.Block, ar.Procs),
+		owner:      make([]ownerRef, ts.TotalInstances()),
+		taskBlocks: make([][]*blocks.Block, ts.Len()),
+		wcet:       make([]model.Time, ts.Len()),
+		shifted:    make([]bool, ts.Len()),
+		seen:       make([]bool, len(blks)),
+	}
+	for i := range st.firstStart {
+		st.firstStart[i] = -1
+	}
+	for i := range st.wcet {
+		st.wcet[i] = ts.Task(model.TaskID(i)).WCET
+	}
+	for _, bl := range blks {
+		st.resv[bl.Proc] = append(st.resv[bl.Proc], bl)
+		for mi, m := range bl.Members {
+			st.owner[ts.InstanceIndex(m.Inst)] = ownerRef{bl: bl, mi: mi}
+		}
+		for _, task := range bl.Tasks() {
+			st.taskBlocks[task] = append(st.taskBlocks[task], bl)
+		}
+	}
+
+	b := &Balancer{}
+	processed := make([]bool, len(blks))
+	bl := blks[0]
+	st.removeResv(bl)
+	ctx := newPctx(ts, ar, bl, processed, st, false)
+	defer ctx.release()
+
+	// Warm the reusable scratch (the obstacle buffer grows once).
+	for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
+		b.evaluate(ctx, p, false)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
+			c := b.evaluate(ctx, p, false)
+			if int(c.Proc) != int(p) {
+				t.Fatalf("candidate proc %d, want %d", c.Proc, p)
+			}
+		}
+	})
+	if allocs != 0 {
+		t.Fatalf("evaluate allocates %.1f objects per block, want 0", allocs)
+	}
+}

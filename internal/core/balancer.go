@@ -57,6 +57,7 @@ type Balancer struct {
 
 	// RecordCandidates keeps the per-processor evaluation of every block
 	// in the result (needed by the worked-example test and the CLI trace).
+	// Off — the default — the hot path allocates no Candidate slices.
 	RecordCandidates bool
 
 	// DisableLCMCondition drops the paper's Block Condition (eq. 4)
@@ -75,7 +76,17 @@ type Balancer struct {
 // ivl is one occupied interval on a processor timeline.
 type ivl struct{ start, end model.Time }
 
+// ownerRef locates one instance inside its owning block: the block plus
+// the member position, so member lookups are O(1) instead of a scan.
+type ownerRef struct {
+	bl *blocks.Block
+	mi int
+}
+
 // balState carries the per-processor incremental state of one run.
+// Everything is indexed by dense IDs (processor, task, block, instance)
+// — the balancer's inner loops run millions of lookups per trial and
+// map overhead used to dominate them.
 type balState struct {
 	intervals  [][]ivl      // blocks moved to each processor, as intervals
 	firstStart []model.Time // start of first block moved there (-1 = none)
@@ -85,16 +96,40 @@ type balState struct {
 	// resv[p] holds the unprocessed blocks currently hosted on p — their
 	// members are the reservations conflict checks must honour. A block is
 	// removed from its original processor's set when it is committed.
-	resv []map[int]*blocks.Block
+	resv [][]*blocks.Block
 
-	// taskBlocks indexes the blocks holding instances of each task
-	// (static: block membership never changes during a run).
-	taskBlocks map[model.TaskID][]*blocks.Block
+	// owner[i] locates the block member holding the instance with dense
+	// index i (static: block membership never changes during a run).
+	owner []ownerRef
+
+	// taskBlocks[t] indexes the blocks holding instances of task t
+	// (static like owner).
+	taskBlocks [][]*blocks.Block
+
+	// wcet[t] caches the WCET of task t: the conflict loops read it per
+	// member visit and a Task struct copy per read is measurable.
+	wcet []model.Time
+
+	// Scratch, reset after each block: shifted flags per task for the
+	// block being placed, seen flags per block ID for the propagation
+	// cap, the blocks touched by gain propagation, and the obstacle
+	// buffer of the earliest-fit sweep.
+	shifted []bool
+	seen    []bool
+	touched []*blocks.Block
+	obst    []ivl
 }
 
 // removeResv drops a block from the reservation index once processed.
 func (st *balState) removeResv(bl *blocks.Block) {
-	delete(st.resv[bl.Proc], bl.ID)
+	s := st.resv[bl.Proc]
+	for i, other := range s {
+		if other == bl {
+			s[i] = s[len(s)-1]
+			st.resv[bl.Proc] = s[:len(s)-1]
+			return
+		}
+	}
 }
 
 // Run balances the given instance-level schedule and returns the result.
@@ -134,14 +169,7 @@ func (b *Balancer) runPass(input *sched.InstSchedule, conservative bool) (*Resul
 		Blocks:         blks,
 		MakespanBefore: input.Makespan(),
 		MemBefore:      input.MemVector(),
-	}
-
-	// Index: instance → block, for producer position lookups.
-	owner := make(map[model.InstanceID]*blocks.Block, ts.TotalInstances())
-	for _, bl := range blks {
-		for _, m := range bl.Members {
-			owner[m.Inst] = bl
-		}
+		Moves:          make([]Move, 0, len(blks)),
 	}
 
 	st := &balState{
@@ -149,29 +177,39 @@ func (b *Balancer) runPass(input *sched.InstSchedule, conservative bool) (*Resul
 		firstStart: make([]model.Time, ar.Procs),
 		memSum:     make([]model.Mem, ar.Procs),
 		anyMoved:   make([]bool, ar.Procs),
-		resv:       make([]map[int]*blocks.Block, ar.Procs),
+		resv:       make([][]*blocks.Block, ar.Procs),
+		owner:      make([]ownerRef, ts.TotalInstances()),
+		taskBlocks: make([][]*blocks.Block, ts.Len()),
+		wcet:       make([]model.Time, ts.Len()),
+		shifted:    make([]bool, ts.Len()),
+		seen:       make([]bool, len(blks)),
+	}
+	for i := range st.wcet {
+		st.wcet[i] = ts.Task(model.TaskID(i)).WCET
 	}
 	for i := range st.firstStart {
 		st.firstStart[i] = -1
-		st.resv[i] = make(map[int]*blocks.Block)
 	}
-	st.taskBlocks = make(map[model.TaskID][]*blocks.Block)
 	for _, bl := range blks {
-		st.resv[bl.Proc][bl.ID] = bl
+		st.resv[bl.Proc] = append(st.resv[bl.Proc], bl)
+		for mi, m := range bl.Members {
+			st.owner[ts.InstanceIndex(m.Inst)] = ownerRef{bl: bl, mi: mi}
+		}
 		for _, task := range bl.Tasks() {
 			st.taskBlocks[task] = append(st.taskBlocks[task], bl)
 		}
 	}
 
+	q := newBlockQueue(blks)
 	processed := make([]bool, len(blks))
 	for n := 0; n < len(blks); n++ {
-		bl := nextBlock(blks, processed)
+		bl := q.pop(processed)
 		st.removeResv(bl)
 		var want *arch.ProcID
 		if n < len(b.script) {
 			want = &b.script[n]
 		}
-		mv, err := b.placeBlock(ts, ar, bl, blks, owner, processed, st, conservative, want)
+		mv, err := b.placeBlock(ts, ar, bl, processed, st, q, conservative, want)
 		if err != nil {
 			return nil, err
 		}
@@ -197,70 +235,132 @@ func (b *Balancer) runPass(input *sched.InstSchedule, conservative bool) (*Resul
 	return res, nil
 }
 
-// nextBlock picks the unprocessed block with the smallest current start
-// time (ties: processor, then first member identity). Starts change under
-// propagation, so the choice is recomputed every round.
-func nextBlock(blks []*blocks.Block, processed []bool) *blocks.Block {
-	var best *blocks.Block
-	for _, bl := range blks {
-		if processed[bl.ID] {
-			continue
-		}
-		if best == nil || blockLess(bl, best) {
-			best = bl
-		}
-	}
-	return best
+// blockQueue yields the unprocessed block with the smallest current
+// start time (ties: processor, then first member identity) — the order
+// nextBlock used to recompute by scanning every block every round. It
+// is a lazy binary heap: gain propagation re-pushes the blocks it
+// shifts, and stale entries (key no longer current, or block already
+// processed) are discarded at pop time.
+type blockQueue struct {
+	entries []queueEntry
 }
 
-func blockLess(a, b *blocks.Block) bool {
-	if a.Start() != b.Start() {
-		return a.Start() < b.Start()
+type queueEntry struct {
+	start model.Time
+	bl    *blocks.Block
+}
+
+func entryLess(a, b queueEntry) bool {
+	if a.start != b.start {
+		return a.start < b.start
 	}
-	if a.Proc != b.Proc {
-		return a.Proc < b.Proc
+	if a.bl.Proc != b.bl.Proc {
+		return a.bl.Proc < b.bl.Proc
 	}
-	ai, bi := a.Members[0].Inst, b.Members[0].Inst
+	ai, bi := a.bl.Members[0].Inst, b.bl.Members[0].Inst
 	if ai.Task != bi.Task {
 		return ai.Task < bi.Task
 	}
 	return ai.K < bi.K
 }
 
+func newBlockQueue(blks []*blocks.Block) *blockQueue {
+	q := &blockQueue{entries: make([]queueEntry, 0, len(blks)+8)}
+	for _, bl := range blks {
+		q.push(bl)
+	}
+	return q
+}
+
+func (q *blockQueue) push(bl *blocks.Block) {
+	q.entries = append(q.entries, queueEntry{start: bl.Start(), bl: bl})
+	i := len(q.entries) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !entryLess(q.entries[i], q.entries[parent]) {
+			break
+		}
+		q.entries[i], q.entries[parent] = q.entries[parent], q.entries[i]
+		i = parent
+	}
+}
+
+// pop returns the live minimum. Every block is guaranteed a current
+// entry: blocks are pushed at construction and re-pushed whenever
+// propagation changes their start, so a stale entry always has a fresher
+// duplicate behind it.
+func (q *blockQueue) pop(processed []bool) *blocks.Block {
+	for len(q.entries) > 0 {
+		top := q.entries[0]
+		last := len(q.entries) - 1
+		q.entries[0] = q.entries[last]
+		q.entries = q.entries[:last]
+		// Sift down.
+		i := 0
+		for {
+			l, r := 2*i+1, 2*i+2
+			small := i
+			if l < len(q.entries) && entryLess(q.entries[l], q.entries[small]) {
+				small = l
+			}
+			if r < len(q.entries) && entryLess(q.entries[r], q.entries[small]) {
+				small = r
+			}
+			if small == i {
+				break
+			}
+			q.entries[i], q.entries[small] = q.entries[small], q.entries[i]
+			i = small
+		}
+		if processed[top.bl.ID] || top.start != top.bl.Start() {
+			continue // stale: processed, or superseded by a re-push
+		}
+		return top.bl
+	}
+	return nil
+}
+
 // placeBlock evaluates all processors for bl, applies the policy, commits
 // the move, and propagates gains to later-instance blocks.
 func (b *Balancer) placeBlock(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
-	blks []*blocks.Block, owner map[model.InstanceID]*blocks.Block, processed []bool, st *balState,
+	processed []bool, st *balState, q *blockQueue,
 	conservative bool, want *arch.ProcID) (Move, error) {
 
 	sOld := bl.Start()
-	cands := make([]Candidate, 0, ar.Procs)
+	var cands []Candidate
+	if b.RecordCandidates {
+		cands = make([]Candidate, 0, ar.Procs)
+	}
 	var best *Candidate
-	ctx := newPctx(ts, ar, bl, blks, owner, processed, st, conservative)
+	var bestVal Candidate
+	ctx := newPctx(ts, ar, bl, processed, st, conservative)
+	defer ctx.release()
 
 	relaxed := false
 	for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
-		c := b.evaluate(ctx, owner, p, b.DisableLCMCondition)
+		c := b.evaluate(ctx, p, b.DisableLCMCondition)
 		if c.Feasible {
 			c.Lambda = lambda(b.Policy, c.Gain, st.memSum[p])
-			if best == nil || better(b.Policy, c, *best) {
-				cc := c
-				best = &cc
+			if best == nil || better(b.Policy, c, bestVal) {
+				bestVal = c
+				best = &bestVal
 			}
 		}
-		cands = append(cands, c)
+		if b.RecordCandidates {
+			cands = append(cands, c)
+		}
 	}
 	if best == nil && !b.DisableLCMCondition {
 		// eq. (4) left the block with no processor; retry with the exact
 		// wrap-around check only.
 		relaxed = true
 		for p := arch.ProcID(0); int(p) < ar.Procs; p++ {
-			c := b.evaluate(ctx, owner, p, true)
+			c := b.evaluate(ctx, p, true)
 			if c.Feasible {
 				c.Lambda = lambda(b.Policy, c.Gain, st.memSum[p])
-				if best == nil || better(b.Policy, c, *best) {
-					cc := c
-					best = &cc
+				if best == nil || better(b.Policy, c, bestVal) {
+					bestVal = c
+					best = &bestVal
 				}
 			}
 		}
@@ -270,9 +370,9 @@ func (b *Balancer) placeBlock(ts *model.TaskSet, ar *arch.Architecture, bl *bloc
 	// failing the whole pass when it is infeasible at this step.
 	if want != nil {
 		best = nil
-		c := b.evaluate(ctx, owner, *want, b.DisableLCMCondition)
+		c := b.evaluate(ctx, *want, b.DisableLCMCondition)
 		if !c.Feasible {
-			c = b.evaluate(ctx, owner, *want, true)
+			c = b.evaluate(ctx, *want, true)
 			relaxed = c.Feasible
 		}
 		if !c.Feasible {
@@ -280,7 +380,8 @@ func (b *Balancer) placeBlock(ts *model.TaskSet, ar *arch.Architecture, bl *bloc
 				bl.ID, int(*want)+1, c.Reason)
 		}
 		c.Lambda = lambda(b.Policy, c.Gain, st.memSum[*want])
-		best = &c
+		bestVal = c
+		best = &bestVal
 	}
 
 	mv := Move{BlockID: bl.ID, From: bl.Proc, OldStart: sOld, Category: bl.Category}
@@ -295,19 +396,19 @@ func (b *Balancer) placeBlock(ts *model.TaskSet, ar *arch.Architecture, bl *bloc
 		// No processor feasible: keep the block where it is (recorded as
 		// forced; final validation reports any resulting inconsistency).
 		mv.To, mv.NewStart, mv.Gain, mv.Forced = bl.Proc, sOld, 0, true
-		b.commit(ts, ar, bl, blks, processed, st, bl.Proc, sOld)
+		b.commit(ts, bl, processed, st, q, bl.Proc, sOld)
 		return mv, nil
 	}
 
 	mv.To, mv.NewStart, mv.Gain = best.Proc, best.NewStart, best.Gain
-	b.commit(ts, ar, bl, blks, processed, st, best.Proc, best.NewStart)
+	b.commit(ts, bl, processed, st, q, best.Proc, best.NewStart)
 	return mv, nil
 }
 
 // evaluate computes the candidate record for moving the context block to
 // processor p. With relaxLCM the Block Condition (eq. 4) is skipped; the
 // exact wrap-around interval and reservation checks always apply.
-func (b *Balancer) evaluate(ctx *pctx, owner map[model.InstanceID]*blocks.Block, p arch.ProcID, relaxLCM bool) Candidate {
+func (b *Balancer) evaluate(ctx *pctx, p arch.ProcID, relaxLCM bool) Candidate {
 	ts, ar, bl, st := ctx.ts, ctx.ar, ctx.bl, ctx.st
 	c := Candidate{Proc: p, MemSum: st.memSum[p]}
 	sOld := bl.Start()
@@ -322,7 +423,7 @@ func (b *Balancer) evaluate(ctx *pctx, owner map[model.InstanceID]*blocks.Block,
 		return c
 	}
 
-	movedLB, conservativeLB := b.depBounds(ctx, owner, p)
+	movedLB, conservativeLB := b.depBounds(ctx, p)
 
 	var newStart model.Time
 	if bl.Category == 2 {
@@ -380,20 +481,20 @@ func (b *Balancer) evaluate(ctx *pctx, owner map[model.InstanceID]*blocks.Block,
 // position and processor (movedLB); unprocessed producers contribute
 // their current end plus a conservative C (conservativeLB), since they
 // may end up anywhere.
-func (b *Balancer) depBounds(ctx *pctx, owner map[model.InstanceID]*blocks.Block, p arch.ProcID) (movedLB, conservativeLB model.Time) {
-	ts, ar, bl := ctx.ts, ctx.ar, ctx.bl
+func (b *Balancer) depBounds(ctx *pctx, p arch.ProcID) (movedLB, conservativeLB model.Time) {
+	ts, ar, bl, st := ctx.ts, ctx.ar, ctx.bl, ctx.st
 	sOld := bl.Start()
 	for _, m := range bl.Members {
 		off := m.Start - sOld // member offset inside the block
-		for _, src := range model.InstanceDeps(ts, m.Inst.Task, m.Inst.K) {
-			pb := owner[src]
-			if pb == bl {
-				continue
+		model.EachInstanceDep(ts, m.Inst.Task, m.Inst.K, func(src model.InstanceID) {
+			ref := st.owner[ts.InstanceIndex(src)]
+			if ref.bl == bl {
+				return
 			}
-			end := memberEnd(ts, pb, src)
-			if ctx.processed[pb.ID] {
+			end := ref.bl.Members[ref.mi].Start + ts.Task(src.Task).WCET
+			if ctx.processed[ref.bl.ID] {
 				delay := model.Time(0)
-				if pb.Proc != p {
+				if ref.bl.Proc != p {
 					delay = ar.CommTime
 				}
 				if v := end + delay - off; v > movedLB {
@@ -404,7 +505,7 @@ func (b *Balancer) depBounds(ctx *pctx, owner map[model.InstanceID]*blocks.Block
 					conservativeLB = v
 				}
 			}
-		}
+		})
 	}
 	return movedLB, conservativeLB
 }
@@ -438,20 +539,10 @@ func (b *Balancer) earliestOn(ctx *pctx, p arch.ProcID, movedLB, conservativeLB 
 	return 0, false
 }
 
-// memberEnd returns the current end time of instance iid inside block pb.
-func memberEnd(ts *model.TaskSet, pb *blocks.Block, iid model.InstanceID) model.Time {
-	for _, m := range pb.Members {
-		if m.Inst == iid {
-			return m.Start + ts.Task(iid.Task).WCET
-		}
-	}
-	panic(fmt.Sprintf("core: instance %v not in its owner block", iid))
-}
-
 // commit moves the block, updates per-processor state, and propagates the
 // gain to later-instance blocks of the same tasks.
-func (b *Balancer) commit(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
-	blks []*blocks.Block, processed []bool, st *balState, p arch.ProcID, newStart model.Time) {
+func (b *Balancer) commit(ts *model.TaskSet, bl *blocks.Block,
+	processed []bool, st *balState, q *blockQueue, p arch.ProcID, newStart model.Time) {
 
 	gain := bl.Start() - newStart
 	bl.Shift(-gain)
@@ -471,23 +562,34 @@ func (b *Balancer) commit(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.B
 	}
 	// Strict periodicity propagation (§3.2): later instances of the tasks
 	// whose first instances just gained must shift by the same amount.
-	shifted := make(map[model.TaskID]bool, len(bl.Members))
+	// st.shifted already flags bl's tasks (set by newPctx); taskBlocks
+	// narrows the sweep to blocks actually holding instances of them.
+	st.touched = st.touched[:0]
 	for _, m := range bl.Members {
-		shifted[m.Inst.Task] = true
-	}
-	for _, other := range blks {
-		if other == bl || processed[other.ID] {
+		task := m.Inst.Task
+		if !st.shifted[task] {
 			continue
 		}
+		for _, other := range st.taskBlocks[task] {
+			if other == bl || processed[other.ID] || st.seen[other.ID] {
+				continue
+			}
+			st.seen[other.ID] = true
+			st.touched = append(st.touched, other)
+		}
+	}
+	for _, other := range st.touched {
+		st.seen[other.ID] = false
 		changed := false
 		for i := range other.Members {
-			if shifted[other.Members[i].Inst.Task] {
+			if st.shifted[other.Members[i].Inst.Task] {
 				other.Members[i].Start -= gain
 				changed = true
 			}
 		}
 		if changed {
 			other.Recompute(ts)
+			q.push(other) // keep the queue key current
 		}
 	}
 }

@@ -1,6 +1,9 @@
 package core
 
 import (
+	"cmp"
+	"slices"
+
 	"repro/internal/arch"
 	"repro/internal/blocks"
 	"repro/internal/model"
@@ -19,16 +22,19 @@ import (
 // with the candidate's gain, so their reservation is tested at the
 // shifted position.
 
-// pctx carries the inputs of one feasibility query.
+// pctx carries the inputs of one feasibility query. The shifted flags
+// live in balState scratch (one []bool per run, not one map per block);
+// release returns them.
 type pctx struct {
 	ts        *model.TaskSet
 	ar        *arch.Architecture
 	bl        *blocks.Block
-	blks      []*blocks.Block
-	owner     map[model.InstanceID]*blocks.Block
 	processed []bool
 	st        *balState
-	shifted   map[model.TaskID]bool // tasks of bl when bl is category 1
+
+	// cat1 gates the shift-along reservation rule; st.shifted[task] is
+	// meaningful only when it is set.
+	cat1 bool
 
 	// conservative switches the propagation cap's producer rule from
 	// "assume eventual co-location" (delay 0, what the paper's worked
@@ -51,16 +57,30 @@ func (c *pctx) cachedPropagationCap() model.Time {
 }
 
 func newPctx(ts *model.TaskSet, ar *arch.Architecture, bl *blocks.Block,
-	blks []*blocks.Block, owner map[model.InstanceID]*blocks.Block,
 	processed []bool, st *balState, conservative bool) *pctx {
-	c := &pctx{ts: ts, ar: ar, bl: bl, blks: blks, owner: owner, processed: processed, st: st, conservative: conservative}
+	c := &pctx{ts: ts, ar: ar, bl: bl, processed: processed, st: st, conservative: conservative}
 	if bl.Category == 1 {
-		c.shifted = make(map[model.TaskID]bool, len(bl.Members))
+		c.cat1 = true
 		for _, m := range bl.Members {
-			c.shifted[m.Inst.Task] = true
+			st.shifted[m.Inst.Task] = true
 		}
 	}
 	return c
+}
+
+// release clears the scratch flags set by newPctx.
+func (c *pctx) release() {
+	if c.cat1 {
+		for _, m := range c.bl.Members {
+			c.st.shifted[m.Inst.Task] = false
+		}
+	}
+}
+
+// shifts reports whether instances of the task shift along with the
+// candidate block's gain.
+func (c *pctx) shifts(task model.TaskID) bool {
+	return c.cat1 && c.st.shifted[task]
 }
 
 // conflictFree reports whether the candidate block, placed at start s on
@@ -81,12 +101,32 @@ func (c *pctx) conflictFree(p arch.ProcID, s model.Time) bool {
 		}
 	}
 	for _, other := range c.st.resv[p] {
+		// Envelope pre-filter: a block whose [Start−gain, End) span (the
+		// −gain widening covers members that would shift along) misses
+		// the candidate window in every ±H image has no conflicting
+		// member; the common case skips the member scan entirely.
+		lo, hi := other.Start(), other.End(c.ts)
+		if gain >= 0 {
+			lo -= gain
+		} else {
+			hi -= gain
+		}
+		overlapsEnvelope := false
+		for _, d := range [3]model.Time{0, h, -h} {
+			if s < hi+d && lo+d < end {
+				overlapsEnvelope = true
+				break
+			}
+		}
+		if !overlapsEnvelope {
+			continue
+		}
 		for _, m := range other.Members {
 			pos := m.Start
-			if c.shifted != nil && c.shifted[m.Inst.Task] {
+			if c.shifts(m.Inst.Task) {
 				pos -= gain // sibling instance shifts along with the gain
 			}
-			w := c.ts.Task(m.Inst.Task).WCET
+			w := c.st.wcet[m.Inst.Task]
 			for _, d := range [3]model.Time{0, h, -h} {
 				if s < pos+w+d && pos+d < end {
 					return false
@@ -111,10 +151,10 @@ func (c *pctx) earliestConflictFree(p arch.ProcID, lb, cap model.Time) (model.Ti
 	span := c.bl.End(c.ts) - sOld
 
 	// Relative (shift-along) obstacles: evaluate once at s = sOld.
-	if c.shifted != nil {
+	if c.cat1 {
 		for _, other := range c.st.resv[p] {
 			for _, m := range other.Members {
-				if !c.shifted[m.Inst.Task] {
+				if !c.st.shifted[m.Inst.Task] {
 					continue
 				}
 				w := c.ts.Task(m.Inst.Task).WCET
@@ -127,32 +167,59 @@ func (c *pctx) earliestConflictFree(p arch.ProcID, lb, cap model.Time) (model.Ti
 		}
 	}
 
-	// Fixed obstacles: jump search.
+	// Fixed obstacles: collect the ±H images intersecting the search
+	// window [lb, cap+span) into scratch, sort once, and sweep forward —
+	// one pass instead of rescanning every obstacle per jump.
+	wHi := cap + span
+	obst := c.st.obst[:0]
+	add := func(start, end model.Time) {
+		for _, d := range [3]model.Time{0, h, -h} {
+			if end+d > lb && start+d < wHi {
+				obst = append(obst, ivl{start: start + d, end: end + d})
+			}
+		}
+	}
+	for _, iv := range c.st.intervals[p] {
+		add(iv.start, iv.end)
+	}
+	for _, other := range c.st.resv[p] {
+		lo, hi := other.Start(), other.End(c.ts)
+		inWindow := false
+		for _, d := range [3]model.Time{0, h, -h} {
+			if hi+d > lb && lo+d < wHi {
+				inWindow = true
+				break
+			}
+		}
+		if !inWindow {
+			continue
+		}
+		for _, m := range other.Members {
+			if c.shifts(m.Inst.Task) {
+				continue
+			}
+			add(m.Start, m.Start+c.st.wcet[m.Inst.Task])
+		}
+	}
+	slices.SortFunc(obst, func(a, b ivl) int {
+		if c := cmp.Compare(a.start, b.start); c != 0 {
+			return c
+		}
+		return cmp.Compare(a.end, b.end)
+	})
+	c.st.obst = obst
+
 	s := lb
-	for s <= cap {
-		bumped := false
-		bump := func(start, end model.Time) {
-			for _, d := range [3]model.Time{0, h, -h} {
-				if s < end+d && start+d < s+span && end+d > s {
-					s = end + d
-					bumped = true
-				}
-			}
+	for _, ob := range obst {
+		if ob.start >= s+span {
+			break // sorted by start: nothing further can conflict
 		}
-		for _, iv := range c.st.intervals[p] {
-			bump(iv.start, iv.end)
+		if ob.end > s {
+			s = ob.end // jump past the obstacle
 		}
-		for _, other := range c.st.resv[p] {
-			for _, m := range other.Members {
-				if c.shifted != nil && c.shifted[m.Inst.Task] {
-					continue
-				}
-				bump(m.Start, m.Start+c.ts.Task(m.Inst.Task).WCET)
-			}
-		}
-		if !bumped {
-			return s, true
-		}
+	}
+	if s <= cap {
+		return s, true
 	}
 	return 0, false
 }
@@ -165,40 +232,42 @@ func (c *pctx) earliestConflictFree(p arch.ProcID, lb, cap model.Time) (model.Ti
 // member must not slide into its unshifted left neighbours (moved
 // intervals or other reservations on its processor).
 func (c *pctx) propagationCap() model.Time {
-	if c.bl.Category != 1 {
+	if !c.cat1 {
 		return 0
 	}
 	h := c.ts.HyperPeriod()
 	cap := h // effectively unbounded
+	st := c.st
 
-	seen := make(map[int]bool)
-	for task := range c.shifted {
-		for _, other := range c.st.taskBlocks[task] {
-			if other == c.bl || c.processed[other.ID] || seen[other.ID] {
+	for _, bm := range c.bl.Members {
+		task := bm.Inst.Task
+		for _, other := range st.taskBlocks[task] {
+			if other == c.bl || c.processed[other.ID] || st.seen[other.ID] {
 				continue
 			}
-			seen[other.ID] = true
+			st.seen[other.ID] = true
 			for _, m := range other.Members {
-				if !c.shifted[m.Inst.Task] {
+				if !st.shifted[m.Inst.Task] {
 					continue
 				}
 				// Producer completion constraints.
-				for _, src := range model.InstanceDeps(c.ts, m.Inst.Task, m.Inst.K) {
-					if c.shifted[src.Task] {
-						continue // shifts by the same amount
+				model.EachInstanceDep(c.ts, m.Inst.Task, m.Inst.K, func(src model.InstanceID) {
+					if st.shifted[src.Task] {
+						return // shifts by the same amount
 					}
-					end := memberEnd(c.ts, c.owner[src], src)
+					ref := st.owner[c.ts.InstanceIndex(src)]
+					end := ref.bl.Members[ref.mi].Start + c.ts.Task(src.Task).WCET
 					if c.conservative {
 						end += c.ar.CommTime
 					}
 					if g := m.Start - end; g < cap {
 						cap = g
 					}
-				}
+				})
 				// Non-overlap against unshifted left neighbours on the same
 				// processor (direct and wrapped images).
 				mEnd := m.Start + c.ts.Task(m.Inst.Task).WCET
-				for _, iv := range c.st.intervals[other.Proc] {
+				for _, iv := range st.intervals[other.Proc] {
 					for _, d := range [3]model.Time{0, h, -h} {
 						if iv.end+d <= m.Start {
 							if g := m.Start - (iv.end + d); g < cap {
@@ -209,12 +278,12 @@ func (c *pctx) propagationCap() model.Time {
 						}
 					}
 				}
-				for _, nb := range c.st.resv[other.Proc] {
+				for _, nb := range st.resv[other.Proc] {
 					if nb == c.bl {
 						continue
 					}
 					for _, nm := range nb.Members {
-						if c.shifted[nm.Inst.Task] {
+						if st.shifted[nm.Inst.Task] {
 							continue // shifts along; relative distance preserved
 						}
 						if nb == other && nm.Inst == m.Inst {
@@ -231,6 +300,12 @@ func (c *pctx) propagationCap() model.Time {
 					}
 				}
 			}
+		}
+	}
+	// Reset the seen scratch for the next caller.
+	for _, bm := range c.bl.Members {
+		for _, other := range st.taskBlocks[bm.Inst.Task] {
+			st.seen[other.ID] = false
 		}
 	}
 	if cap < 0 {

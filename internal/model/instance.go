@@ -43,21 +43,56 @@ func InstanceStart(s0 Time, period Time, k int) Time {
 //     consumer instance k (each datum is consumed n times).
 func InstanceDeps(ts *TaskSet, dst TaskID, k int) []InstanceID {
 	var out []InstanceID
-	tc := ts.Task(dst).Period
-	for _, src := range ts.Predecessors(dst) {
-		tp := ts.Task(src).Period
+	EachInstanceDep(ts, dst, k, func(src InstanceID) {
+		out = append(out, src)
+	})
+	return out
+}
+
+// EachInstanceDep calls fn for every producer instance of (dst, k), in
+// the same order InstanceDeps lists them, without allocating. It is the
+// hot-path form: scheduling and balancing visit every instance-level
+// dependence many times per trial, and a slice per visit dominated the
+// allocation profile.
+func EachInstanceDep(ts *TaskSet, dst TaskID, k int, fn func(src InstanceID)) {
+	tc := ts.tasks[dst].Period
+	for _, src := range ts.pred[dst] {
+		tp := ts.tasks[src].Period
 		switch {
 		case tp == tc:
-			out = append(out, InstanceID{Task: src, K: k})
+			fn(InstanceID{Task: src, K: k})
 		case tc%tp == 0: // producer faster
 			n := int(tc / tp)
 			for j := 0; j < n; j++ {
-				out = append(out, InstanceID{Task: src, K: k*n + j})
+				fn(InstanceID{Task: src, K: k*n + j})
 			}
 		case tp%tc == 0: // producer slower
 			n := int(tp / tc)
-			out = append(out, InstanceID{Task: src, K: k / n})
+			fn(InstanceID{Task: src, K: k / n})
 		}
 	}
-	return out
+}
+
+// EachInstanceDepData is EachInstanceDep with the datum size of the
+// underlying task-level dependence passed alongside each producer
+// instance (the simulator's buffer accounting needs it per edge, and a
+// per-call scan over all dependences used to dominate its profile).
+func EachInstanceDepData(ts *TaskSet, dst TaskID, k int, fn func(src InstanceID, data Mem)) {
+	tc := ts.tasks[dst].Period
+	for i, src := range ts.pred[dst] {
+		data := ts.predData[dst][i]
+		tp := ts.tasks[src].Period
+		switch {
+		case tp == tc:
+			fn(InstanceID{Task: src, K: k}, data)
+		case tc%tp == 0: // producer faster
+			n := int(tc / tp)
+			for j := 0; j < n; j++ {
+				fn(InstanceID{Task: src, K: k*n + j}, data)
+			}
+		case tp%tc == 0: // producer slower
+			n := int(tp / tc)
+			fn(InstanceID{Task: src, K: k / n}, data)
+		}
+	}
 }

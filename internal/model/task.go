@@ -51,11 +51,20 @@ type TaskSet struct {
 	tasks  []Task
 	byName map[string]TaskID
 	deps   []Dependence
-	// adjacency, filled by Freeze
-	succ   [][]TaskID
-	pred   [][]TaskID
-	frozen bool
-	hyper  Time
+	// adjacency, filled by Freeze; predData[t][i] is the datum size of
+	// the edge pred[t][i] → t, so per-edge lookups in instance-level
+	// sweeps are O(1) instead of a scan over all dependences.
+	succ     [][]TaskID
+	pred     [][]TaskID
+	predData [][]Mem
+	frozen   bool
+	hyper    Time
+
+	// instance indexing, filled by Freeze: instOff[t] is the position of
+	// instance (t, 0) in the dense task-major instance order, totalInst
+	// the number of instances within one hyper-period.
+	instOff   []int
+	totalInst int
 }
 
 // NewTaskSet returns an empty task set.
@@ -163,6 +172,7 @@ func (ts *TaskSet) Freeze() error {
 	ts.succ = make([][]TaskID, n)
 	ts.pred = make([][]TaskID, n)
 	seen := make(map[[2]TaskID]bool, len(ts.deps))
+	ts.predData = make([][]Mem, n)
 	for _, d := range ts.deps {
 		key := [2]TaskID{d.Src, d.Dst}
 		if seen[key] {
@@ -172,6 +182,9 @@ func (ts *TaskSet) Freeze() error {
 		seen[key] = true
 		ts.succ[d.Src] = append(ts.succ[d.Src], d.Dst)
 		ts.pred[d.Dst] = append(ts.pred[d.Dst], d.Src)
+		// Positional append keeps predData aligned with pred by
+		// construction, whatever the edge multiset looks like.
+		ts.predData[d.Dst] = append(ts.predData[d.Dst], d.Data)
 	}
 	if _, err := ts.topoOrder(); err != nil {
 		return err
@@ -184,6 +197,11 @@ func (ts *TaskSet) Freeze() error {
 		}
 	}
 	ts.hyper = h
+	ts.instOff = make([]int, n)
+	for i, t := range ts.tasks {
+		ts.instOff[i] = ts.totalInst
+		ts.totalInst += int(h / t.Period)
+	}
 	ts.frozen = true
 	return nil
 }
@@ -256,12 +274,15 @@ func (ts *TaskSet) Instances(id TaskID) int {
 
 // TotalInstances returns the total number of task instances within one
 // hyper-period, which is the size of the expanded scheduling problem.
-func (ts *TaskSet) TotalInstances() int {
-	n := 0
-	for i := range ts.tasks {
-		n += ts.Instances(TaskID(i))
-	}
-	return n
+// Valid after Freeze.
+func (ts *TaskSet) TotalInstances() int { return ts.totalInst }
+
+// InstanceIndex returns the position of an instance in the dense
+// task-major instance order: instances of task 0 first (k ascending),
+// then task 1, and so on. The inverse of the first TotalInstances()
+// positions. Valid after Freeze.
+func (ts *TaskSet) InstanceIndex(iid InstanceID) int {
+	return ts.instOff[iid.Task] + iid.K
 }
 
 // TotalMem returns the sum of memory amounts of all tasks.

@@ -1,8 +1,9 @@
 package sched
 
 import (
+	"cmp"
 	"fmt"
-	"sort"
+	"slices"
 
 	"repro/internal/arch"
 	"repro/internal/model"
@@ -18,16 +19,39 @@ type InstPlacement struct {
 // load-balancing heuristic may send different instances of the same task
 // to different processors while preserving their strictly periodic start
 // times. It is the output representation of the balancer.
+//
+// Placements live in a dense task-major slice indexed by
+// model.TaskSet.InstanceIndex — exactly TotalInstances() entries, no
+// hashing — and each processor keeps a cached occupancy listing ordered
+// by (start, task, k). The listing is refreshed lazily: Place is O(1)
+// and a burst of placements (the common construction pattern) pays one
+// scan-and-sort on the first read instead of one sorted insert each.
 type InstSchedule struct {
 	TS   *model.TaskSet
 	Arch *arch.Architecture
 
-	place map[model.InstanceID]InstPlacement
+	// pl[i] is the placement of the instance with InstanceIndex i;
+	// Proc == Unplaced marks an unset entry.
+	pl []InstPlacement
+
+	// byProc[p] is the cached instance listing of processor p, sorted by
+	// (start, task, k). Valid only when fresh.
+	byProc [][]model.InstanceID
+	fresh  bool
 }
 
-// NewInstSchedule returns an empty instance-level schedule.
+// NewInstSchedule returns an empty instance-level schedule with capacity
+// for exactly TotalInstances() placements.
 func NewInstSchedule(ts *model.TaskSet, a *arch.Architecture) *InstSchedule {
-	return &InstSchedule{TS: ts, Arch: a, place: make(map[model.InstanceID]InstPlacement, ts.TotalInstances())}
+	is := &InstSchedule{
+		TS: ts, Arch: a,
+		pl:     make([]InstPlacement, ts.TotalInstances()),
+		byProc: make([][]model.InstanceID, a.Procs),
+	}
+	for i := range is.pl {
+		is.pl[i].Proc = Unplaced
+	}
+	return is
 }
 
 // FromSchedule expands a task-level schedule: instance k of each task
@@ -40,8 +64,9 @@ func FromSchedule(s *Schedule) *InstSchedule {
 		if pl.Proc == Unplaced {
 			continue
 		}
+		idx := is.TS.InstanceIndex(model.InstanceID{Task: id})
 		for k := 0; k < s.TS.Instances(id); k++ {
-			is.place[model.InstanceID{Task: id, K: k}] = InstPlacement{Proc: pl.Proc, Start: s.InstanceStart(id, k)}
+			is.pl[idx+k] = InstPlacement{Proc: pl.Proc, Start: s.InstanceStart(id, k)}
 		}
 	}
 	return is
@@ -49,56 +74,96 @@ func FromSchedule(s *Schedule) *InstSchedule {
 
 // Place assigns one instance.
 func (is *InstSchedule) Place(iid model.InstanceID, p arch.ProcID, start model.Time) {
-	is.place[iid] = InstPlacement{Proc: p, Start: start}
+	is.pl[is.TS.InstanceIndex(iid)] = InstPlacement{Proc: p, Start: start}
+	is.fresh = false
 }
 
 // Placement returns the placement of one instance and whether it is set.
 func (is *InstSchedule) Placement(iid model.InstanceID) (InstPlacement, bool) {
-	pl, ok := is.place[iid]
-	return pl, ok
+	pl := is.pl[is.TS.InstanceIndex(iid)]
+	return pl, pl.Proc != Unplaced
 }
 
-// Clone returns a deep copy.
+// Clone returns a deep copy. The placement slice and the per-processor
+// listings are copied wholesale, so a clone costs O(TotalInstances) with
+// no hashing or re-sorting — cheap enough to hand one schedule to many
+// concurrent consumers (the campaign memoiser does exactly that).
 func (is *InstSchedule) Clone() *InstSchedule {
-	c := NewInstSchedule(is.TS, is.Arch)
-	for k, v := range is.place {
-		c.place[k] = v
+	c := &InstSchedule{
+		TS: is.TS, Arch: is.Arch,
+		pl:     append([]InstPlacement(nil), is.pl...),
+		byProc: make([][]model.InstanceID, len(is.byProc)),
+		fresh:  is.fresh,
+	}
+	if is.fresh {
+		for p := range is.byProc {
+			c.byProc[p] = append([]model.InstanceID(nil), is.byProc[p]...)
+		}
 	}
 	return c
 }
 
-// InstancesOn returns the instances on processor p sorted by start time.
-func (is *InstSchedule) InstancesOn(p arch.ProcID) []model.InstanceID {
-	var out []model.InstanceID
-	for iid, pl := range is.place {
-		if pl.Proc == p {
-			out = append(out, iid)
+// refresh rebuilds every processor listing in one pass over the dense
+// placements.
+func (is *InstSchedule) refresh() {
+	for p := range is.byProc {
+		is.byProc[p] = is.byProc[p][:0]
+	}
+	n := is.TS.Len()
+	for i := 0; i < n; i++ {
+		id := model.TaskID(i)
+		idx := is.TS.InstanceIndex(model.InstanceID{Task: id})
+		for k := 0; k < is.TS.Instances(id); k++ {
+			if pl := is.pl[idx+k]; pl.Proc != Unplaced {
+				is.byProc[pl.Proc] = append(is.byProc[pl.Proc], model.InstanceID{Task: id, K: k})
+			}
 		}
 	}
-	sort.Slice(out, func(i, j int) bool {
-		a, b := is.place[out[i]], is.place[out[j]]
-		if a.Start != b.Start {
-			return a.Start < b.Start
-		}
-		if out[i].Task != out[j].Task {
-			return out[i].Task < out[j].Task
-		}
-		return out[i].K < out[j].K
-	})
-	return out
+	for p := range is.byProc {
+		slices.SortFunc(is.byProc[p], func(a, b model.InstanceID) int {
+			if c := cmp.Compare(is.startOf(a), is.startOf(b)); c != 0 {
+				return c
+			}
+			if c := cmp.Compare(a.Task, b.Task); c != 0 {
+				return c
+			}
+			return cmp.Compare(a.K, b.K)
+		})
+	}
+	is.fresh = true
+}
+
+func (is *InstSchedule) startOf(iid model.InstanceID) model.Time {
+	return is.pl[is.TS.InstanceIndex(iid)].Start
+}
+
+// InstancesOn returns the instances on processor p sorted by start time
+// (ties: task, then k). The listing is cached: repeated reads between
+// placements are allocation-free. Callers must not mutate the result.
+func (is *InstSchedule) InstancesOn(p arch.ProcID) []model.InstanceID {
+	if !is.fresh {
+		is.refresh()
+	}
+	return is.byProc[p]
 }
 
 // End returns the completion time of an instance.
 func (is *InstSchedule) End(iid model.InstanceID) model.Time {
-	return is.place[iid].Start + is.TS.Task(iid.Task).WCET
+	return is.pl[is.TS.InstanceIndex(iid)].Start + is.TS.Task(iid.Task).WCET
 }
 
 // Makespan returns the completion time of the last placed instance.
 func (is *InstSchedule) Makespan() model.Time {
 	var m model.Time
-	for iid := range is.place {
-		if e := is.End(iid); e > m {
-			m = e
+	n := is.TS.Len()
+	for i := 0; i < n; i++ {
+		id := model.TaskID(i)
+		w := is.TS.Task(id).WCET
+		idx := is.TS.InstanceIndex(model.InstanceID{Task: id})
+		for k := 0; k < is.TS.Instances(id); k++ {
+			if pl := is.pl[idx+k]; pl.Proc != Unplaced && pl.Start+w > m {
+				m = pl.Start + w
+			}
 		}
 	}
 	return m
@@ -108,8 +173,16 @@ func (is *InstSchedule) Makespan() model.Time {
 // accounting.
 func (is *InstSchedule) MemVector() []model.Mem {
 	v := make([]model.Mem, is.Arch.Procs)
-	for iid, pl := range is.place {
-		v[pl.Proc] += is.TS.Task(iid.Task).Mem
+	n := is.TS.Len()
+	for i := 0; i < n; i++ {
+		id := model.TaskID(i)
+		mem := is.TS.Task(id).Mem
+		idx := is.TS.InstanceIndex(model.InstanceID{Task: id})
+		for k := 0; k < is.TS.Instances(id); k++ {
+			if pl := is.pl[idx+k]; pl.Proc != Unplaced {
+				v[pl.Proc] += mem
+			}
+		}
 	}
 	return v
 }
@@ -144,7 +217,7 @@ func (is *InstSchedule) Validate() []ValidationError {
 	}
 
 	for _, iid := range model.ExpandInstances(is.TS) {
-		if _, ok := is.place[iid]; !ok {
+		if _, ok := is.Placement(iid); !ok {
 			add("placement", "instance %s is not placed", name(iid))
 		}
 	}
@@ -155,13 +228,13 @@ func (is *InstSchedule) Validate() []ValidationError {
 	for i := 0; i < is.TS.Len(); i++ {
 		id := model.TaskID(i)
 		t := is.TS.Task(id)
-		s0 := is.place[model.InstanceID{Task: id}].Start
+		s0 := is.startOf(model.InstanceID{Task: id})
 		if s0 < 0 {
 			add("placement", "task %q first instance starts at %d", t.Name, s0)
 		}
 		for k := 1; k < is.TS.Instances(id); k++ {
 			want := model.InstanceStart(s0, t.Period, k)
-			got := is.place[model.InstanceID{Task: id, K: k}].Start
+			got := is.startOf(model.InstanceID{Task: id, K: k})
 			if got != want {
 				add("periodicity", "%s#%d starts at %d, strict periodicity requires %d", t.Name, k+1, got, want)
 			}
@@ -173,10 +246,10 @@ func (is *InstSchedule) Validate() []ValidationError {
 		ids := is.InstancesOn(p)
 		for i := 0; i < len(ids); i++ {
 			a := ids[i]
-			as, ae := is.place[a].Start, is.End(a)
+			as, ae := is.startOf(a), is.End(a)
 			for j := i + 1; j < len(ids); j++ {
 				b := ids[j]
-				bs, be := is.place[b].Start, is.End(b)
+				bs, be := is.startOf(b), is.End(b)
 				if overlaps(as, ae, bs, be) || overlaps(as+h, ae+h, bs, be) || overlaps(as, ae, bs+h, be+h) {
 					add("overlap", "%s and %s overlap on %s", name(a), name(b), is.Arch.ProcName(p))
 				}
@@ -188,9 +261,9 @@ func (is *InstSchedule) Validate() []ValidationError {
 		dst := model.TaskID(i)
 		for k := 0; k < is.TS.Instances(dst); k++ {
 			ci := model.InstanceID{Task: dst, K: k}
-			cpl := is.place[ci]
-			for _, src := range model.InstanceDeps(is.TS, dst, k) {
-				spl := is.place[src]
+			cpl, _ := is.Placement(ci)
+			model.EachInstanceDep(is.TS, dst, k, func(src model.InstanceID) {
+				spl, _ := is.Placement(src)
 				end := is.End(src)
 				if spl.Proc != cpl.Proc {
 					end += is.Arch.CommTime
@@ -199,7 +272,7 @@ func (is *InstSchedule) Validate() []ValidationError {
 					add("precedence", "%s (ends %d%s) not complete before %s starts at %d",
 						name(src), is.End(src), commNote(spl.Proc != cpl.Proc, is.Arch.CommTime), name(ci), cpl.Start)
 				}
-			}
+			})
 		}
 	}
 

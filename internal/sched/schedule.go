@@ -54,6 +54,14 @@ type Schedule struct {
 	// tasksOn caches TasksOn per processor; entries are invalidated by
 	// Place.
 	tasksOn map[arch.ProcID][]model.TaskID
+
+	// occ[p] is the occupancy timeline of processor p: the wrapped
+	// (mod hyper-period) execution intervals of every instance placed
+	// there, sorted by start and pairwise disjoint for any feasible
+	// placement. EarliestStart and FitsAt binary-search it instead of
+	// re-testing every co-resident task. Maintained incrementally by
+	// Place.
+	occ [][]occIvl
 }
 
 // NewSchedule returns an empty schedule over the given frozen task set and
@@ -66,6 +74,7 @@ func NewSchedule(ts *model.TaskSet, a *arch.Architecture) (*Schedule, error) {
 		TS: ts, Arch: a,
 		place:   make([]Placement, ts.Len()),
 		tasksOn: make(map[arch.ProcID][]model.TaskID, a.Procs),
+		occ:     make([][]occIvl, a.Procs),
 	}
 	for i := range s.place {
 		s.place[i] = Placement{Proc: Unplaced}
@@ -96,9 +105,11 @@ func (s *Schedule) Place(id model.TaskID, p arch.ProcID, start model.Time) error
 	}
 	if prev := s.place[id]; prev.Proc != Unplaced {
 		delete(s.tasksOn, prev.Proc)
+		s.occRemove(prev.Proc, id)
 	}
 	s.place[id] = Placement{Proc: p, Start: start}
 	delete(s.tasksOn, p)
+	s.occInsert(p, id, start)
 	return nil
 }
 
@@ -131,6 +142,10 @@ func (s *Schedule) Clone() *Schedule {
 	c := &Schedule{TS: s.TS, Arch: s.Arch, tasksOn: make(map[arch.ProcID][]model.TaskID, s.Arch.Procs)}
 	c.place = append([]Placement(nil), s.place...)
 	c.comms = append([]Comm(nil), s.comms...)
+	c.occ = make([][]occIvl, len(s.occ))
+	for p := range s.occ {
+		c.occ[p] = append([]occIvl(nil), s.occ[p]...)
+	}
 	return c
 }
 

@@ -2,7 +2,6 @@ package sched
 
 import (
 	"fmt"
-	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/model"
@@ -43,7 +42,7 @@ func NewScheduler(ts *model.TaskSet, a *arch.Architecture) *Scheduler {
 // tasks that are hard to pack (long WCETs, tight dependence bounds) go
 // first while the timeline is still empty. Up to Retries rounds.
 func (sc *Scheduler) Run() (*Schedule, error) {
-	boost := make(map[model.TaskID]int)
+	boost := make([]int, sc.TS.Len())
 	var lastErr error
 	for attempt := 0; attempt <= sc.Retries; attempt++ {
 		s, failed, err := sc.runOnce(boost)
@@ -85,7 +84,7 @@ func (sc *Scheduler) ancestry(id model.TaskID) []model.TaskID {
 
 // runOnce is one greedy pass. On placement failure it returns the task
 // that could not be placed.
-func (sc *Scheduler) runOnce(boost map[model.TaskID]int) (*Schedule, model.TaskID, error) {
+func (sc *Scheduler) runOnce(boost []int) (*Schedule, model.TaskID, error) {
 	s, err := NewSchedule(sc.TS, sc.Arch)
 	if err != nil {
 		return nil, -1, err
@@ -93,6 +92,7 @@ func (sc *Scheduler) runOnce(boost map[model.TaskID]int) (*Schedule, model.TaskI
 	order := sc.order(boost)
 	util := make([]model.Time, sc.Arch.Procs) // busy time per hyper-period
 	memUsed := make([]model.Mem, sc.Arch.Procs)
+	lbs := make([]model.Time, sc.Arch.Procs) // dependence bounds, reused per task
 
 	for _, id := range order {
 		t := sc.TS.Task(id)
@@ -101,15 +101,21 @@ func (sc *Scheduler) runOnce(boost map[model.TaskID]int) (*Schedule, model.TaskI
 		// instances cannot share storage, figure 1).
 		need := t.Mem * model.Mem(sc.TS.Instances(id))
 
+		s.DepLowerBounds(id, lbs)
 		best := arch.ProcID(-1)
 		var bestStart model.Time
 		for p := arch.ProcID(0); int(p) < sc.Arch.Procs; p++ {
 			if cap := sc.Arch.MemCapacity; cap > 0 && memUsed[p]+need > cap {
 				continue
 			}
-			lb := s.DepLowerBound(id, p)
-			start, err := s.EarliestStart(id, p, lb)
-			if err != nil {
+			// A start beyond the incumbent best cannot win (ties go to the
+			// tie-breaks, strictly later starts lose), so bound the search.
+			bound := lbs[p] + sc.TS.HyperPeriod()
+			if best >= 0 && bestStart < bound {
+				bound = bestStart
+			}
+			start, ok := s.earliestStartIn(id, p, lbs[p], bound)
+			if !ok {
 				continue
 			}
 			if best < 0 || sc.better(s, id, p, start, best, bestStart, util) {
@@ -164,7 +170,7 @@ func (sc *Scheduler) hostsProducer(s *Schedule, id model.TaskID, p arch.ProcID) 
 // rounds push hard-to-pack tasks first), then increasing period (the fast
 // tasks that impose rates come first), then decreasing total busy time
 // (longest processing time first within a period class), then ID.
-func (sc *Scheduler) order(boost map[model.TaskID]int) []model.TaskID {
+func (sc *Scheduler) order(boost []int) []model.TaskID {
 	n := sc.TS.Len()
 	indeg := make([]int, n)
 	for _, d := range sc.TS.Dependences() {
@@ -176,26 +182,39 @@ func (sc *Scheduler) order(boost map[model.TaskID]int) []model.TaskID {
 			ready = append(ready, model.TaskID(i))
 		}
 	}
+	// Precomputed sort keys: the comparator runs O(n) times per round.
+	period := make([]model.Time, n)
+	busy := make([]model.Time, n)
+	for i := 0; i < n; i++ {
+		t := sc.TS.Task(model.TaskID(i))
+		period[i] = t.Period
+		busy[i] = model.Time(sc.TS.Instances(model.TaskID(i))) * t.WCET
+	}
 	less := func(a, b model.TaskID) bool {
 		if boost[a] != boost[b] {
 			return boost[a] > boost[b]
 		}
-		ta, tb := sc.TS.Task(a), sc.TS.Task(b)
-		if ta.Period != tb.Period {
-			return ta.Period < tb.Period
+		if period[a] != period[b] {
+			return period[a] < period[b]
 		}
-		ba := model.Time(sc.TS.Instances(a)) * ta.WCET
-		bb := model.Time(sc.TS.Instances(b)) * tb.WCET
-		if ba != bb {
-			return ba > bb
+		if busy[a] != busy[b] {
+			return busy[a] > busy[b]
 		}
 		return a < b
 	}
 	out := make([]model.TaskID, 0, n)
 	for len(ready) > 0 {
-		sort.Slice(ready, func(i, j int) bool { return less(ready[i], ready[j]) })
-		id := ready[0]
-		ready = ready[1:]
+		// Extract the minimum (the ready set holds no meaningful order, so
+		// a linear scan replaces re-sorting the whole set every round).
+		mi := 0
+		for i := 1; i < len(ready); i++ {
+			if less(ready[i], ready[mi]) {
+				mi = i
+			}
+		}
+		id := ready[mi]
+		ready[mi] = ready[len(ready)-1]
+		ready = ready[:len(ready)-1]
 		out = append(out, id)
 		for _, s := range sc.TS.Successors(id) {
 			indeg[s]--

@@ -2,10 +2,124 @@ package sched
 
 import (
 	"fmt"
+	"sort"
 
 	"repro/internal/arch"
 	"repro/internal/model"
 )
+
+// timeline.go maintains the per-processor occupancy timelines and
+// answers the scheduler's feasibility queries from them.
+//
+// Every placed task contributes the wrapped (mod hyper-period) execution
+// intervals of its instances to its processor's timeline; the intervals
+// are kept sorted by start and — for any feasible placement — pairwise
+// disjoint, so both "does this image overlap anything" and "what is the
+// minimal forward shift that clears the conflict" are binary searches.
+// This replaces the per-query pairwise compatibility sweep over every
+// co-resident task (the representation the profile showed dominating
+// single-trial cost) with O(images · log occupancy) per probe.
+//
+// Steady-state equivalence: a candidate start conflicts with the
+// repeating pattern iff one of its hyper-period images overlaps an
+// occupied interval on the [0, H) ring, which is exactly the pairwise
+// strict-periodicity test of the paper's reference [1] (model.Compatible)
+// expanded to instances. The timeline and the modulo-gcd formulation
+// agree on every query; the property test in timeline_test.go checks
+// them against each other.
+
+// occIvl is one occupied interval on a processor timeline, tagged with
+// the task owning it so queries can ignore the task being (re)placed.
+type occIvl struct {
+	start, end model.Time
+	task       model.TaskID
+}
+
+// occInsert adds every wrapped instance image of task id, starting at
+// start, to processor p's timeline.
+func (s *Schedule) occInsert(p arch.ProcID, id model.TaskID, start model.Time) {
+	t := s.TS.Task(id)
+	h := s.TS.HyperPeriod()
+	n := s.TS.Instances(id)
+	for k := 0; k < n; k++ {
+		r := model.Mod(start+model.Time(k)*t.Period, h)
+		if e := r + t.WCET; e <= h {
+			s.occAdd(p, occIvl{r, e, id})
+		} else { // image wraps the hyper-period boundary: split
+			s.occAdd(p, occIvl{r, h, id})
+			s.occAdd(p, occIvl{0, e - h, id})
+		}
+	}
+}
+
+// occAdd inserts one interval keeping the timeline sorted by start.
+func (s *Schedule) occAdd(p arch.ProcID, iv occIvl) {
+	occ := s.occ[p]
+	i := sort.Search(len(occ), func(j int) bool { return occ[j].start >= iv.start })
+	occ = append(occ, occIvl{})
+	copy(occ[i+1:], occ[i:])
+	occ[i] = iv
+	s.occ[p] = occ
+}
+
+// occRemove drops every interval of task id from processor p's timeline
+// (used when a task is re-placed).
+func (s *Schedule) occRemove(p arch.ProcID, id model.TaskID) {
+	occ := s.occ[p]
+	keep := occ[:0]
+	for _, iv := range occ {
+		if iv.task != id {
+			keep = append(keep, iv)
+		}
+	}
+	s.occ[p] = keep
+}
+
+// occConflict reports whether the image part [x, y) ⊂ [0, H) overlaps an
+// interval of a task other than id on the timeline, and if so returns
+// the end of the latest-ending such interval. Because the timeline is
+// sorted by start and disjoint, ends are sorted too: the only candidates
+// are the intervals just before the first one starting at or beyond y.
+func occConflict(occ []occIvl, id model.TaskID, x, y model.Time) (model.Time, bool) {
+	lo, hi := 0, len(occ)
+	for lo < hi {
+		mid := int(uint(lo+hi) >> 1)
+		if occ[mid].start >= y {
+			hi = mid
+		} else {
+			lo = mid + 1
+		}
+	}
+	for i := lo - 1; i >= 0 && occ[i].end > x; i-- {
+		if occ[i].task != id {
+			return occ[i].end, true
+		}
+	}
+	return 0, false
+}
+
+// imageConflict returns the minimal forward shift of the candidate start
+// that clears every detected conflict of one instance image wrapped to
+// r ∈ [0, H), or 0 when the image is conflict-free.
+func imageConflict(occ []occIvl, id model.TaskID, r, wcet, h model.Time) model.Time {
+	var bump model.Time
+	e := r + wcet
+	y := e
+	if y > h {
+		y = h
+	}
+	if end, hit := occConflict(occ, id, r, y); hit {
+		bump = end - r
+	}
+	if e > h { // wrapped tail [0, e−h)
+		if end, hit := occConflict(occ, id, 0, e-h); hit {
+			if d := end - r + h; d > bump {
+				bump = d
+			}
+		}
+	}
+	return bump
+}
 
 // EarliestStart searches for the smallest start time ≥ lower such that
 // every instance of task id (strictly periodic at its period) fits on
@@ -13,59 +127,67 @@ import (
 // steady state, i.e. including the wrap-around images of the repeating
 // hyper-period pattern.
 //
-// The search runs on the pairwise strict-periodicity compatibility test
-// of the paper's reference [1] (see model.Compatible): a candidate start
-// conflicts with an existing task iff their start difference modulo
-// gcd(Ti, Tj) leaves no room for both WCETs, so each existing task
-// admits a periodic family of feasible windows and the search hops to
-// the next window edge instead of probing instance pairs. It returns an
+// The search hops along the occupancy timeline: each round binary-
+// searches the conflict of every candidate image and advances the start
+// by the largest shift any conflict demands (a shift below that provably
+// keeps its conflict, so no feasible start is skipped). It returns an
 // error when no feasible start exists within one hyper-period above the
-// lower bound (the joint window pattern repeats with a period dividing
-// the hyper-period, so searching further cannot help).
+// lower bound (the joint pattern repeats with a period dividing the
+// hyper-period, so searching further cannot help).
 func (s *Schedule) EarliestStart(id model.TaskID, p arch.ProcID, lower model.Time) (model.Time, error) {
-	t := s.TS.Task(id)
-	limit := lower + s.TS.HyperPeriod()
-	others := s.TasksOn(p)
-
-	start := lower
-	for start <= limit {
-		bumped := false
-		for _, other := range others {
-			if other == id {
-				continue
-			}
-			ot := s.TS.Task(other)
-			os := s.place[other].Start
-			if model.Compatible(os, ot.Period, ot.WCET, start, t.Period, t.WCET) {
-				continue
-			}
-			next, ok := model.FirstCompatibleAtLeast(os, ot.Period, ot.WCET, t.Period, t.WCET, start+1)
-			if !ok {
-				return 0, fmt.Errorf("sched: %q (T=%d,E=%d) can never share %s with %q (T=%d,E=%d): gcd window too small",
-					t.Name, t.Period, t.WCET, s.Arch.ProcName(p), ot.Name, ot.Period, ot.WCET)
-			}
-			if next > start {
-				start = next
-				bumped = true
-			}
-		}
-		if !bumped {
-			return start, nil
-		}
+	start, ok := s.earliestStartIn(id, p, lower, lower+s.TS.HyperPeriod())
+	if !ok {
+		t := s.TS.Task(id)
+		return 0, fmt.Errorf("sched: no feasible start for %q on %s above %d", t.Name, s.Arch.ProcName(p), lower)
 	}
-	return 0, fmt.Errorf("sched: no feasible start for %q on %s above %d", t.Name, s.Arch.ProcName(p), lower)
+	return start, nil
+}
+
+// earliestStartIn is EarliestStart with an inclusive upper bound on the
+// returned start: the search gives up as soon as the candidate exceeds
+// min(bound, lower+H). The scheduler uses it to abandon a processor the
+// moment it can no longer beat the incumbent best start; failure is a
+// boolean, not a formatted error, because abandonment is the common case
+// on the hot path.
+func (s *Schedule) earliestStartIn(id model.TaskID, p arch.ProcID, lower, bound model.Time) (model.Time, bool) {
+	t := s.TS.Task(id)
+	h := s.TS.HyperPeriod()
+	occ := s.occ[p]
+	n := s.TS.Instances(id)
+	limit := lower + h
+	if bound < limit {
+		limit = bound
+	}
+
+	// The images of a candidate start are exactly the residues congruent
+	// to start modulo the period: {Mod(start, T) + j·T, j = 0..n−1}. One
+	// Mod per round enumerates them all in increasing order.
+	for start := lower; start <= limit; {
+		var bump model.Time
+		base := model.Mod(start, t.Period)
+		for j := 0; j < n; j++ {
+			if d := imageConflict(occ, id, base+model.Time(j)*t.Period, t.WCET, h); d > bump {
+				bump = d
+			}
+		}
+		if bump == 0 {
+			return start, true
+		}
+		start += bump
+	}
+	return 0, false
 }
 
 // FitsAt reports whether the task could be placed at (p, start) without
 // overlap against the current placement, in steady state.
 func (s *Schedule) FitsAt(id model.TaskID, p arch.ProcID, start model.Time) bool {
 	t := s.TS.Task(id)
-	for _, other := range s.TasksOn(p) {
-		if other == id {
-			continue
-		}
-		ot := s.TS.Task(other)
-		if !model.Compatible(s.place[other].Start, ot.Period, ot.WCET, start, t.Period, t.WCET) {
+	h := s.TS.HyperPeriod()
+	occ := s.occ[p]
+	n := s.TS.Instances(id)
+	base := model.Mod(start, t.Period)
+	for j := 0; j < n; j++ {
+		if imageConflict(occ, id, base+model.Time(j)*t.Period, t.WCET, h) > 0 {
 			return false
 		}
 	}
@@ -83,18 +205,67 @@ func (s *Schedule) DepLowerBound(id model.TaskID, p arch.ProcID) model.Time {
 	lb := model.Time(0)
 	t := s.TS.Task(id)
 	for k := 0; k < s.TS.Instances(id); k++ {
-		for _, src := range model.InstanceDeps(s.TS, id, k) {
+		kT := model.Time(k) * t.Period
+		model.EachInstanceDep(s.TS, id, k, func(src model.InstanceID) {
 			if s.place[src.Task].Proc == Unplaced {
-				continue
+				return
 			}
 			end := s.InstanceEnd(src.Task, src.K)
 			if s.place[src.Task].Proc != p {
 				end += s.Arch.CommTime
 			}
-			if b := end - model.Time(k)*t.Period; b > lb {
+			if b := end - kT; b > lb {
 				lb = b
 			}
-		}
+		})
 	}
 	return lb
+}
+
+// DepLowerBounds fills lb (length ≥ Arch.Procs) with DepLowerBound for
+// every processor in one pass over the producers instead of one pass per
+// processor: the only processor-dependent term is whether the +C
+// communication delay applies, so a per-processor maximum of the local
+// bounds plus the two best cross-processor bounds (from distinct
+// processors) determine every entry.
+func (s *Schedule) DepLowerBounds(id model.TaskID, lb []model.Time) {
+	for i := range lb {
+		lb[i] = 0
+	}
+	t := s.TS.Task(id)
+	c := s.Arch.CommTime
+	var top1, top2 model.Time // best remote bounds from distinct processors
+	top1Proc := Unplaced
+	for k := 0; k < s.TS.Instances(id); k++ {
+		kT := model.Time(k) * t.Period
+		model.EachInstanceDep(s.TS, id, k, func(src model.InstanceID) {
+			pp := s.place[src.Task].Proc
+			if pp == Unplaced {
+				return
+			}
+			local := s.InstanceEnd(src.Task, src.K) - kT
+			if local > lb[pp] {
+				lb[pp] = local // producer co-located: no comm delay
+			}
+			remote := local + c
+			switch {
+			case remote > top1:
+				if top1Proc != pp {
+					top2 = top1
+				}
+				top1, top1Proc = remote, pp
+			case remote > top2 && pp != top1Proc:
+				top2 = remote
+			}
+		})
+	}
+	for p := range lb {
+		cross := top1
+		if top1Proc == arch.ProcID(p) {
+			cross = top2
+		}
+		if cross > lb[p] {
+			lb[p] = cross
+		}
+	}
 }

@@ -1,0 +1,108 @@
+package sched
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/model"
+)
+
+// refEarliestStart is the pre-timeline formulation of EarliestStart: the
+// pairwise modulo-gcd compatibility sweep over every co-resident task
+// (the paper's reference [1]). The timeline implementation must agree
+// with it on every query; this file keeps the old code as the oracle.
+func refEarliestStart(s *Schedule, id model.TaskID, p arch.ProcID, lower model.Time) (model.Time, bool) {
+	t := s.TS.Task(id)
+	limit := lower + s.TS.HyperPeriod()
+	others := s.TasksOn(p)
+
+	start := lower
+	for start <= limit {
+		bumped := false
+		for _, other := range others {
+			if other == id {
+				continue
+			}
+			ot := s.TS.Task(other)
+			os := s.Placement(other).Start
+			if model.Compatible(os, ot.Period, ot.WCET, start, t.Period, t.WCET) {
+				continue
+			}
+			next, ok := model.FirstCompatibleAtLeast(os, ot.Period, ot.WCET, t.Period, t.WCET, start+1)
+			if !ok {
+				return 0, false
+			}
+			if next > start {
+				start = next
+				bumped = true
+			}
+		}
+		if !bumped {
+			return start, true
+		}
+	}
+	return 0, false
+}
+
+func refFitsAt(s *Schedule, id model.TaskID, p arch.ProcID, start model.Time) bool {
+	t := s.TS.Task(id)
+	for _, other := range s.TasksOn(p) {
+		if other == id {
+			continue
+		}
+		ot := s.TS.Task(other)
+		if !model.Compatible(s.Placement(other).Start, ot.Period, ot.WCET, start, t.Period, t.WCET) {
+			return false
+		}
+	}
+	return true
+}
+
+// TestTimelineMatchesCompatibilityOracle drives randomly built partial
+// schedules and checks that the timeline-backed EarliestStart and FitsAt
+// return exactly what the modulo-gcd oracle returns, probe by probe.
+func TestTimelineMatchesCompatibilityOracle(t *testing.T) {
+	periods := []model.Time{6, 12, 24}
+	for seed := int64(0); seed < 40; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		ts := model.NewTaskSet()
+		n := 4 + rng.Intn(6)
+		for i := 0; i < n; i++ {
+			period := periods[rng.Intn(len(periods))]
+			wcet := 1 + model.Time(rng.Intn(3))
+			if wcet > period {
+				wcet = period
+			}
+			ts.MustAddTask(string(rune('a'+i)), period, wcet, 1)
+		}
+		ts.MustFreeze()
+		ar := arch.MustNew(2, 1)
+		s := MustNewSchedule(ts, ar)
+
+		for i := 0; i < n; i++ {
+			id := model.TaskID(i)
+			p := arch.ProcID(rng.Intn(ar.Procs))
+
+			// Probe FitsAt agreement on a spread of starts.
+			for probe := model.Time(0); probe < ts.HyperPeriod(); probe += 1 + model.Time(rng.Intn(3)) {
+				if got, want := s.FitsAt(id, p, probe), refFitsAt(s, id, p, probe); got != want {
+					t.Fatalf("seed %d: FitsAt(%d, P%d, %d) = %v, oracle %v", seed, id, p, probe, got, want)
+				}
+			}
+
+			lower := model.Time(rng.Intn(5))
+			got, err := s.EarliestStart(id, p, lower)
+			want, ok := refEarliestStart(s, id, p, lower)
+			if (err == nil) != ok {
+				t.Fatalf("seed %d: EarliestStart(%d, P%d, %d) err=%v, oracle ok=%v", seed, id, p, lower, err, ok)
+			}
+			if err == nil && got != want {
+				t.Fatalf("seed %d: EarliestStart(%d, P%d, %d) = %d, oracle %d", seed, id, p, lower, got, want)
+			}
+			if err == nil {
+				s.MustPlace(id, p, got)
+			}
+		}
+	}
+}

@@ -1,7 +1,8 @@
 package sim
 
 import (
-	"sort"
+	"cmp"
+	"slices"
 
 	"repro/internal/model"
 	"repro/internal/sched"
@@ -51,6 +52,13 @@ func (r *MemReuseReport) Savings() float64 {
 // MinMemoryWithReuse computes the per-processor peak of simultaneously
 // live task buffers over one hyper-period (steady state: lifetimes are
 // wrapped modulo H).
+//
+// Lifetimes are accumulated consumer-major in one pass over the
+// instance-level dependences, into a dense per-instance table: each
+// consumer instance extends the lifetime of every datum it reads. The
+// older producer-major formulation re-enumerated every successor's whole
+// instance range per producer, which was quadratic in the dependence
+// fan-out.
 func MinMemoryWithReuse(is *sched.InstSchedule) *MemReuseReport {
 	ts, ar := is.TS, is.Arch
 	h := ts.HyperPeriod()
@@ -59,38 +67,57 @@ func MinMemoryWithReuse(is *sched.InstSchedule) *MemReuseReport {
 		Reuse: make([]model.Mem, ar.Procs),
 	}
 
-	perProc := make([][]lifetime, ar.Procs)
-	for _, iid := range model.ExpandInstances(ts) {
-		pl, ok := is.Placement(iid)
-		if !ok {
-			continue
-		}
-		t := ts.Task(iid.Task)
-		lt := lifetime{start: pl.Start, end: is.End(iid), mem: t.Mem}
-		// Extend to the completion of the last consumer of this
-		// instance's data.
-		for _, succ := range ts.Successors(iid.Task) {
-			for k := 0; k < ts.Instances(succ); k++ {
-				for _, src := range model.InstanceDeps(ts, succ, k) {
-					if src != iid {
-						continue
-					}
-					ci := model.InstanceID{Task: succ, K: k}
-					cend := is.End(ci)
-					if cpl, ok := is.Placement(ci); ok && cpl.Proc != pl.Proc {
-						// The data leaves this processor once the transfer
-						// completes: producer side holds it until the
-						// consumer start at the latest (send + flight).
-						cend = is.End(iid) + ar.CommTime
-						_ = cpl
-					}
-					if cend > lt.end {
-						lt.end = cend
-					}
-				}
+	// ends[i] is the lifetime end of the datum produced by the instance
+	// with dense index i; −1 marks an unplaced producer.
+	ends := make([]model.Time, ts.TotalInstances())
+	for i := 0; i < ts.Len(); i++ {
+		id := model.TaskID(i)
+		for k := 0; k < ts.Instances(id); k++ {
+			iid := model.InstanceID{Task: id, K: k}
+			if _, ok := is.Placement(iid); !ok {
+				ends[ts.InstanceIndex(iid)] = -1
+				continue
 			}
+			ends[ts.InstanceIndex(iid)] = is.End(iid)
 		}
-		perProc[pl.Proc] = append(perProc[pl.Proc], lt)
+	}
+	for i := 0; i < ts.Len(); i++ {
+		dst := model.TaskID(i)
+		for k := 0; k < ts.Instances(dst); k++ {
+			ci := model.InstanceID{Task: dst, K: k}
+			cpl, cok := is.Placement(ci)
+			cend := is.End(ci)
+			model.EachInstanceDep(ts, dst, k, func(src model.InstanceID) {
+				idx := ts.InstanceIndex(src)
+				if ends[idx] < 0 {
+					return
+				}
+				e := cend
+				if spl, _ := is.Placement(src); cok && cpl.Proc != spl.Proc {
+					// The data leaves the producer's processor once the
+					// transfer completes: producer side holds it until the
+					// consumer start at the latest (send + flight).
+					e = is.End(src) + ar.CommTime
+				}
+				if e > ends[idx] {
+					ends[idx] = e
+				}
+			})
+		}
+	}
+
+	perProc := make([][]lifetime, ar.Procs)
+	for i := 0; i < ts.Len(); i++ {
+		id := model.TaskID(i)
+		mem := ts.Task(id).Mem
+		for k := 0; k < ts.Instances(id); k++ {
+			iid := model.InstanceID{Task: id, K: k}
+			pl, ok := is.Placement(iid)
+			if !ok {
+				continue
+			}
+			perProc[pl.Proc] = append(perProc[pl.Proc], lifetime{start: pl.Start, end: ends[ts.InstanceIndex(iid)], mem: mem})
+		}
 	}
 
 	for p := range perProc {
@@ -121,11 +148,11 @@ func peakLive(lts []lifetime, h model.Time) model.Mem {
 			// the closing -mem at h is implicit (sweep ends there)
 		}
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].at != evs[j].at {
-			return evs[i].at < evs[j].at
+	slices.SortFunc(evs, func(a, b ev) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return evs[i].delta < evs[j].delta
+		return cmp.Compare(a.delta, b.delta)
 	})
 	var cur, peak model.Mem
 	for _, e := range evs {

@@ -13,7 +13,9 @@
 package sim
 
 import (
+	"cmp"
 	"fmt"
+	"slices"
 	"sort"
 
 	"repro/internal/arch"
@@ -68,6 +70,7 @@ func (r *Runner) Run(is *sched.InstSchedule) (*Report, error) {
 	buffers := make([][]arrival, ar.Procs)
 
 	// Verify executability and collect arrivals.
+	var depErr error
 	for i := 0; i < ts.Len(); i++ {
 		dst := model.TaskID(i)
 		for k := 0; k < ts.Instances(dst); k++ {
@@ -76,21 +79,25 @@ func (r *Runner) Run(is *sched.InstSchedule) (*Report, error) {
 			if !ok {
 				return nil, fmt.Errorf("sim: instance %v not placed", ci)
 			}
-			for _, src := range model.InstanceDeps(ts, dst, k) {
+			model.EachInstanceDepData(ts, dst, k, func(src model.InstanceID, data model.Mem) {
+				if depErr != nil {
+					return
+				}
 				spl, ok := is.Placement(src)
 				if !ok {
-					return nil, fmt.Errorf("sim: producer %v not placed", src)
+					depErr = fmt.Errorf("sim: producer %v not placed", src)
+					return
 				}
 				end := is.End(src)
 				if spl.Proc != cpl.Proc {
 					end += ar.CommTime
 				}
 				if end > cpl.Start {
-					return nil, fmt.Errorf("sim: %s#%d starts at %d before its input from %s#%d arrives at %d",
+					depErr = fmt.Errorf("sim: %s#%d starts at %d before its input from %s#%d arrives at %d",
 						ts.Task(dst).Name, k+1, cpl.Start, ts.Task(src.Task).Name, src.K+1, end)
+					return
 				}
 				if spl.Proc != cpl.Proc {
-					data, _ := ts.DependenceData(src.Task, dst)
 					buffers[cpl.Proc] = append(buffers[cpl.Proc], arrival{
 						at:   end,
 						data: data,
@@ -104,21 +111,28 @@ func (r *Runner) Run(is *sched.InstSchedule) (*Report, error) {
 								Note: fmt.Sprintf("from %s#%d", ts.Task(src.Task).Name, src.K+1)})
 					}
 				}
+			})
+			if depErr != nil {
+				return nil, depErr
 			}
 		}
 	}
 
 	// Busy time and start/end events.
-	for _, iid := range model.ExpandInstances(ts) {
-		pl, _ := is.Placement(iid)
-		w := ts.Task(iid.Task).WCET
-		rep.Procs[pl.Proc].Busy += w
-		rep.Procs[pl.Proc].Instances++
-		rep.Procs[pl.Proc].ResidentMem += ts.Task(iid.Task).Mem
-		if r.LogEvents {
-			rep.Events = append(rep.Events,
-				Event{Time: pl.Start, Kind: "start", Inst: iid, Proc: pl.Proc},
-				Event{Time: pl.Start + w, Kind: "end", Inst: iid, Proc: pl.Proc})
+	for i := 0; i < ts.Len(); i++ {
+		id := model.TaskID(i)
+		t := ts.Task(id)
+		for k := 0; k < ts.Instances(id); k++ {
+			iid := model.InstanceID{Task: id, K: k}
+			pl, _ := is.Placement(iid)
+			rep.Procs[pl.Proc].Busy += t.WCET
+			rep.Procs[pl.Proc].Instances++
+			rep.Procs[pl.Proc].ResidentMem += t.Mem
+			if r.LogEvents {
+				rep.Events = append(rep.Events,
+					Event{Time: pl.Start, Kind: "start", Inst: iid, Proc: pl.Proc},
+					Event{Time: pl.Start + t.WCET, Kind: "end", Inst: iid, Proc: pl.Proc})
+			}
 		}
 	}
 
@@ -161,15 +175,15 @@ type occEvent struct {
 // peakOccupancy computes the maximum simultaneous buffer occupancy given
 // arrival intervals [at, free).
 func peakOccupancy(arrivals []arrival) model.Mem {
-	var evs []occEvent
+	evs := make([]occEvent, 0, 2*len(arrivals))
 	for _, a := range arrivals {
 		evs = append(evs, occEvent{a.at, a.data}, occEvent{a.free, -a.data})
 	}
-	sort.Slice(evs, func(i, j int) bool {
-		if evs[i].at != evs[j].at {
-			return evs[i].at < evs[j].at
+	slices.SortFunc(evs, func(a, b occEvent) int {
+		if c := cmp.Compare(a.at, b.at); c != 0 {
+			return c
 		}
-		return evs[i].delta < evs[j].delta // frees before arrivals at the same tick
+		return cmp.Compare(a.delta, b.delta) // frees before arrivals at the same tick
 	})
 	var cur, peak model.Mem
 	for _, e := range evs {

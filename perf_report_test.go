@@ -1,0 +1,157 @@
+package repro_test
+
+import (
+	"encoding/json"
+	"os"
+	"runtime"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/sched"
+)
+
+// TestEmitBenchReport is the machine side of scripts/bench.sh: when
+// BENCH_REPORT=1 it measures single-trial latency distribution,
+// allocations per trial, and end-to-end sweep wall-clock at paper scale,
+// and merges the numbers into the JSON file named by BENCH_OUT under the
+// key named by BENCH_STAGE ("before" or "after"). Without BENCH_REPORT
+// the test is skipped, so normal `go test` runs stay fast.
+func TestEmitBenchReport(t *testing.T) {
+	if os.Getenv("BENCH_REPORT") == "" {
+		t.Skip("set BENCH_REPORT=1 (via scripts/bench.sh) to emit the perf report")
+	}
+	out := os.Getenv("BENCH_OUT")
+	if out == "" {
+		out = "BENCH_pr2.json"
+	}
+	stage := os.Getenv("BENCH_STAGE")
+	if stage != "before" && stage != "after" {
+		t.Fatalf("BENCH_STAGE must be before|after, got %q", stage)
+	}
+
+	cfg, procs := paperScaleConfig()
+	ts, ar := paperScaleInput(t)
+
+	// Stage latencies: scheduler alone, balancer alone.
+	schedP50 := percentile(measure(t, 15, func() {
+		if _, err := sched.NewScheduler(ts, ar).Run(); err != nil {
+			t.Fatal(err)
+		}
+	}), 50)
+	s, err := sched.NewScheduler(ts, ar).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := sched.FromSchedule(s)
+	balP50 := percentile(measure(t, 15, func() {
+		if _, err := (&core.Balancer{}).Run(is); err != nil {
+			t.Fatal(err)
+		}
+	}), 50)
+
+	// End-to-end trial latency distribution and allocations per trial.
+	trial := campaign.Trial{Cell: "bench", Gen: cfg, Procs: procs, Comm: 1}
+	const runs = 30
+	var ms0, ms1 runtime.MemStats
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	lat := measure(t, runs, func() {
+		if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
+			t.Fatalf("outcome %q", r.Outcome)
+		}
+	})
+	runtime.ReadMemStats(&ms1)
+	allocsPerTrial := float64(ms1.Mallocs-ms0.Mallocs) / runs
+
+	// End-to-end sweep wall-clock: one campaign over every policy at
+	// paper scale — the workload memoisation is aimed at.
+	spec := &campaign.Spec{
+		Name:        "bench-pr2",
+		Seeds:       4,
+		SeedBase:    1,
+		Tasks:       []int{cfg.Tasks},
+		Utilization: []float64{cfg.Utilization},
+		Procs:       []int{procs},
+		Policies:    []string{"lexicographic", "ratio", "memory-only"},
+		Periods:     cfg.Periods,
+	}
+	t0 := time.Now()
+	res, err := campaign.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sweepMS := float64(time.Since(t0)) / float64(time.Millisecond)
+
+	report := map[string]any{}
+	if data, err := os.ReadFile(out); err == nil {
+		if err := json.Unmarshal(data, &report); err != nil {
+			t.Fatalf("existing %s is not JSON: %v", out, err)
+		}
+	}
+	report["config"] = map[string]any{
+		"tasks":       cfg.Tasks,
+		"instances":   ts.TotalInstances(),
+		"procs":       procs,
+		"utilization": cfg.Utilization,
+		"sweep": map[string]any{
+			"seeds": spec.Seeds, "policies": spec.Policies, "trials": len(res.Trials),
+		},
+	}
+	report[stage] = map[string]any{
+		"trial_ms_p50":     percentile(lat, 50),
+		"trial_ms_p99":     percentile(lat, 99),
+		"allocs_per_trial": allocsPerTrial,
+		"scheduler_ms_p50": schedP50,
+		"balancer_ms_p50":  balP50,
+		"sweep_ms":         sweepMS,
+	}
+	if b, okb := report["before"].(map[string]any); okb {
+		if a, oka := report["after"].(map[string]any); oka {
+			report["speedup"] = map[string]any{
+				"trial_p50": num(b["trial_ms_p50"]) / num(a["trial_ms_p50"]),
+				"sweep":     num(b["sweep_ms"]) / num(a["sweep_ms"]),
+				"allocs":    num(b["allocs_per_trial"]) / num(a["allocs_per_trial"]),
+			}
+		}
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(out, append(data, '\n'), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("wrote %s stage %q: trial p50 %.1fms p99 %.1fms, %.0f allocs/trial, sweep %.0fms",
+		out, stage, percentile(lat, 50), percentile(lat, 99), allocsPerTrial, sweepMS)
+}
+
+// measure returns n wall-clock samples of fn, in milliseconds.
+func measure(t *testing.T, n int, fn func()) []float64 {
+	t.Helper()
+	out := make([]float64, n)
+	for i := range out {
+		t0 := time.Now()
+		fn()
+		out[i] = float64(time.Since(t0)) / float64(time.Millisecond)
+	}
+	return out
+}
+
+// percentile returns the p-th percentile (nearest-rank) of samples.
+func percentile(samples []float64, p int) float64 {
+	s := append([]float64(nil), samples...)
+	sort.Float64s(s)
+	idx := (len(s)*p + 99) / 100
+	if idx > 0 {
+		idx--
+	}
+	return s[idx]
+}
+
+func num(v any) float64 {
+	f, _ := v.(float64)
+	return f
+}

@@ -1,0 +1,25 @@
+#!/bin/sh
+# scripts/bench.sh — emit the PR-2 performance report.
+#
+# Usage:
+#   scripts/bench.sh before   # record the pre-refactor baseline
+#   scripts/bench.sh after    # record the post-refactor numbers + speedups
+#
+# Both stages merge into BENCH_pr2.json at the repo root (override with
+# BENCH_OUT). The report carries single-trial latency p50/p99,
+# allocations per trial, per-stage p50s, and the wall-clock of one
+# paper-scale campaign sweep; once both stages are present the speedup
+# block is recomputed. The raw `go test -bench` lines for BenchmarkTrial
+# are echoed for the log.
+set -eu
+cd "$(dirname "$0")/.."
+
+stage="${1:-after}"
+case "$stage" in
+before|after) ;;
+*) echo "usage: $0 before|after" >&2; exit 2 ;;
+esac
+
+go test -run '^$' -bench '^BenchmarkTrial$' -benchtime 5x .
+BENCH_REPORT=1 BENCH_STAGE="$stage" BENCH_OUT="${BENCH_OUT:-BENCH_pr2.json}" \
+	go test -run '^TestEmitBenchReport$' -v -count=1 .

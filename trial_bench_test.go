@@ -1,0 +1,83 @@
+package repro_test
+
+import (
+	"testing"
+
+	"repro/internal/arch"
+	"repro/internal/campaign"
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/sched"
+)
+
+// paperScaleConfig is the regime the paper claims ("several thousands of
+// tasks and tens of processors", §4): ≥ 1000 task instances on 16
+// processors. Seed 1 at util 8 is schedulable by the greedy substrate,
+// so the benchmark exercises the full pipeline rather than the failure
+// path.
+func paperScaleConfig() (gen.Config, int) {
+	return gen.Config{
+		Seed:        1,
+		Tasks:       300,
+		Utilization: 8,
+		Periods:     []model.Time{10, 20, 40, 80},
+	}, 16
+}
+
+func paperScaleInput(tb testing.TB) (*model.TaskSet, *arch.Architecture) {
+	tb.Helper()
+	cfg, procs := paperScaleConfig()
+	ts, err := gen.Generate(cfg)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	if ts.TotalInstances() < 1000 {
+		tb.Fatalf("paper-scale config yields %d instances, want ≥ 1000", ts.TotalInstances())
+	}
+	return ts, arch.MustNew(procs, 1)
+}
+
+// BenchmarkTrial measures single-trial cost at paper scale, split by
+// stage. The end-to-end case is exactly what one campaign worker runs
+// per trial, so its latency bounds every sweep's throughput.
+func BenchmarkTrial(b *testing.B) {
+	b.Run("scheduler", func(b *testing.B) {
+		ts, ar := paperScaleInput(b)
+		b.ReportMetric(float64(ts.TotalInstances()), "instances")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := sched.NewScheduler(ts, ar).Run(); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("balancer", func(b *testing.B) {
+		ts, ar := paperScaleInput(b)
+		s, err := sched.NewScheduler(ts, ar).Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		is := sched.FromSchedule(s)
+		b.ReportMetric(float64(ts.TotalInstances()), "instances")
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := (&core.Balancer{}).Run(is); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("end-to-end", func(b *testing.B) {
+		cfg, procs := paperScaleConfig()
+		trial := campaign.Trial{Cell: "bench", Gen: cfg, Procs: procs, Comm: 1}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
+				b.Fatalf("outcome %q", r.Outcome)
+			}
+		}
+	})
+}
