@@ -9,6 +9,15 @@
 //
 //	lbfarm -tasks 100,200 -util 2,3 -procs 4,8 -seeds 50
 //	lbfarm -spec sweep.json -workers 16 -out artifacts
+//	lbfarm -spec sweep.json -journal journals/sweep.jsonl -resume -progress
+//	lbfarm -spec sweep.json -shard 2/3   # then lbmerge the shard journals
+//
+// With -journal, every completed trial is appended to a checksummed
+// journal as it finishes, and -resume continues a killed sweep from
+// that journal, skipping the journaled trials while still producing
+// byte-identical artifacts. -shard i/n runs only the i-th index range
+// of the trial grid and writes a shard journal (the artifacts of a
+// sharded sweep come from lbmerge). See docs/journal.md.
 //
 // Artifacts: <out>/<name>.json (spec + per-cell aggregates + trials)
 // and <out>/<name>.csv (long-form aggregate table); the text summary
@@ -19,10 +28,15 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 	"strconv"
 	"strings"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/profiling"
 )
@@ -62,6 +76,11 @@ func main() {
 		noMemo   = flag.Bool("no-memo", false, "disable cross-policy prefix memoisation (one generate+schedule per policy cell instead of one per grid point; artifacts are identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+
+		journalPath = flag.String("journal", "", "append completed trials to this checksummed journal (default with -shard: journals/<name>.shard<i>of<n>.jsonl)")
+		resume      = flag.Bool("resume", false, "resume from the journal at -journal, skipping already-journaled trials")
+		shardSpec   = flag.String("shard", "", "run only shard i/n of the trial grid (1-based, e.g. 2/3); implies a journal and skips artifact writing")
+		progress    = flag.Bool("progress", false, "print a periodic progress line (trials done/total, accept ratio, ETA) to stderr")
 	)
 	flag.Parse()
 
@@ -95,14 +114,104 @@ func main() {
 		}
 	}
 
-	res, err := (&campaign.Engine{Workers: *workers, NoMemo: *noMemo}).Run(spec)
+	trials, err := spec.Trials()
 	if err != nil {
 		fatal(err)
+	}
+	shardIdx, shardCnt, err := parseShard(*shardSpec)
+	if err != nil {
+		fatal(err)
+	}
+	// -shard 1/1 is the degenerate single-shard run: it still follows
+	// the shard workflow (journal written, artifacts left to lbmerge).
+	sharded := *shardSpec != ""
+	lo, hi := journal.ShardRange(len(trials), shardIdx, shardCnt)
+
+	// A sharded run's product is its journal; default the path so the
+	// merge workflow needs no flag bookkeeping.
+	path := *journalPath
+	if path == "" && sharded {
+		path = filepath.Join("journals", fmt.Sprintf("%s.shard%dof%d.jsonl", spec.Name, shardIdx+1, shardCnt))
+	}
+	if *resume && path == "" {
+		fatal("-resume requires -journal (or -shard)")
+	}
+
+	var (
+		w    *journal.Writer
+		done []campaign.TrialResult
+	)
+	if path != "" {
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			fatal(err)
+		}
+		hdr, err := journal.NewHeader(spec, shardIdx, shardCnt)
+		if err != nil {
+			fatal(err)
+		}
+		if *resume {
+			w, done, err = journal.Resume(path, hdr)
+			if err != nil {
+				fatal(err)
+			}
+			log.Printf("resuming %s: %d of %d trials already journaled", path, len(done), hi-lo)
+		} else {
+			w, err = journal.Create(path, hdr)
+			if err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	eng := &campaign.Engine{Workers: *workers, NoMemo: *noMemo, Done: done, Lo: lo, Hi: hi}
+
+	// The sink both journals live trials and feeds the progress
+	// counters; it runs concurrently on every worker.
+	var doneN, okN atomic.Int64
+	doneN.Store(int64(len(done)))
+	for _, r := range done {
+		if r.Outcome == campaign.OutcomeOK {
+			okN.Add(1)
+		}
+	}
+	if w != nil || *progress {
+		eng.Sink = func(r campaign.TrialResult) error {
+			doneN.Add(1)
+			if r.Outcome == campaign.OutcomeOK {
+				okN.Add(1)
+			}
+			if w != nil {
+				return w.Append(r)
+			}
+			return nil
+		}
+	}
+	var stopProgress func()
+	if *progress {
+		stopProgress = startProgress(&doneN, &okN, int64(len(done)), int64(hi-lo))
+	}
+
+	res, err := eng.Run(spec)
+	if stopProgress != nil {
+		stopProgress()
+	}
+	if err != nil {
+		fatal(err)
+	}
+	if w != nil {
+		if err := w.Close(); err != nil {
+			fatal(err)
+		}
 	}
 	if err := stopProf(); err != nil {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Table())
+	if sharded {
+		fmt.Printf("shard %d/%d (trials [%d,%d) of %d) journaled to %s — merge the shards with lbmerge\n",
+			shardIdx+1, shardCnt, lo, hi, len(trials), path)
+		return
+	}
 	if *noTrials {
 		return
 	}
@@ -111,6 +220,65 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
+}
+
+// parseShard reads "i/n" (1-based) into a 0-based shard index and the
+// shard count; the empty string is the unsharded run 0 of 1.
+func parseShard(s string) (idx, count int, err error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	i, n, ok := strings.Cut(s, "/")
+	if ok {
+		idx, err = strconv.Atoi(strings.TrimSpace(i))
+		if err == nil {
+			count, err = strconv.Atoi(strings.TrimSpace(n))
+		}
+	}
+	if !ok || err != nil || count < 1 || idx < 1 || idx > count {
+		return 0, 0, fmt.Errorf("bad -shard %q (want i/n with 1 ≤ i ≤ n, e.g. 2/3)", s)
+	}
+	return idx - 1, count, nil
+}
+
+// startProgress prints a progress line to stderr every few seconds:
+// trials done/total, accept ratio over the observed trials, and an ETA
+// extrapolated from the live completion rate (journal-replayed trials
+// are excluded from the rate). The returned func stops the ticker and
+// prints a final line.
+func startProgress(doneN, okN *atomic.Int64, base, total int64) func() {
+	start := time.Now()
+	line := func() {
+		d, ok := doneN.Load(), okN.Load()
+		var accept float64
+		if d > 0 {
+			accept = float64(ok) / float64(d)
+		}
+		eta := "?"
+		if live := d - base; live > 0 {
+			rate := float64(live) / time.Since(start).Seconds()
+			eta = time.Duration(float64(total-d) / rate * float64(time.Second)).Round(time.Second).String()
+		}
+		fmt.Fprintf(os.Stderr, "lbfarm: %d/%d trials (%.0f%%), accept %.0f%%, eta %s\n",
+			d, total, 100*float64(d)/float64(total), 100*accept, eta)
+	}
+	tick := time.NewTicker(2 * time.Second)
+	quit := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-tick.C:
+				line()
+			case <-quit:
+				return
+			}
+		}
+	}()
+	return func() {
+		tick.Stop()
+		close(quit)
+		line()
+	}
 }
 
 func split(s string) []string {

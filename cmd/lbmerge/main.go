@@ -1,0 +1,49 @@
+// Command lbmerge folds the shard journals of a multi-host campaign
+// back into the single-host artifacts. Each shard journal is produced
+// by `lbfarm -shard i/n -journal …` (see docs/journal.md); lbmerge
+// verifies every record checksum, that all shards belong to the same
+// sweep (spec-hash agreement), and that their index ranges tile the
+// full trial enumeration exactly, then replays the engine's ordered
+// fold — the JSON and CSV it writes are byte-identical to what one
+// `lbfarm` run of the whole spec would have written.
+//
+// Usage:
+//
+//	lbmerge [-out artifacts] [-table-only] shard1.jsonl shard2.jsonl ...
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+
+	"repro/internal/journal"
+)
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbmerge: ")
+	var (
+		out       = flag.String("out", "artifacts", "artifact directory")
+		tableOnly = flag.Bool("table-only", false, "print the table but write no artifacts")
+	)
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("usage: lbmerge [-out dir] shard1.jsonl shard2.jsonl ...")
+	}
+
+	res, err := journal.Merge(flag.Args())
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("merged %d shards into campaign %q\n", flag.NArg(), res.Spec.Name)
+	fmt.Print(res.Table())
+	if *tableOnly {
+		return
+	}
+	jp, cp, err := res.WriteArtifacts(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("artifacts: %s %s\n", jp, cp)
+}

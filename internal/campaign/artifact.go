@@ -25,23 +25,35 @@ func (r *Result) JSON() ([]byte, error) {
 	return append(data, '\n'), nil
 }
 
+// csvHeader pins the artifact's column layout. Every emitted row is
+// padded to exactly this many columns via csvRow, so a row can never
+// drift out of step with the header (the golden-file test pins the
+// bytes).
+var csvHeader = []string{"cell", "metric", "count", "mean", "std", "min", "max", "p50", "p90", "p99"}
+
+// csvRow pads a partial row with explicit empty-string columns out to
+// the full header width.
+func csvRow(cols ...string) []string {
+	row := make([]string, len(csvHeader))
+	copy(row, cols)
+	return row
+}
+
 // WriteCSV emits the per-cell aggregates in long form, one row per
 // (cell, metric) pair:
 //
 //	cell,metric,count,mean,std,min,max,p50,p90,p99
 //
 // plus one acceptance row per cell with metric "accept_ratio" (count =
-// trials, mean = ratio, the remaining stat columns empty).
+// trials, mean = ratio, and every remaining stat column an explicit
+// empty string).
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
-	if err := cw.Write([]string{"cell", "metric", "count", "mean", "std", "min", "max", "p50", "p90", "p99"}); err != nil {
+	if err := cw.Write(csvHeader); err != nil {
 		return err
 	}
 	for _, c := range r.Cells {
-		if err := cw.Write([]string{
-			c.Cell, "accept_ratio", strconv.Itoa(c.Trials), ff(c.AcceptRatio),
-			"", "", "", "", "", "",
-		}); err != nil {
+		if err := cw.Write(csvRow(c.Cell, "accept_ratio", strconv.Itoa(c.Trials), ff(c.AcceptRatio))); err != nil {
 			return err
 		}
 		names := make([]string, 0, len(c.Metrics))
@@ -51,11 +63,11 @@ func (r *Result) WriteCSV(w io.Writer) error {
 		sort.Strings(names)
 		for _, name := range names {
 			s := c.Metrics[name]
-			if err := cw.Write([]string{
+			if err := cw.Write(csvRow(
 				c.Cell, name, strconv.Itoa(s.Count),
 				ff(s.Mean), ff(s.Std), ff(s.Min), ff(s.Max),
 				ff(s.P50), ff(s.P90), ff(s.P99),
-			}); err != nil {
+			)); err != nil {
 				return err
 			}
 		}

@@ -1,0 +1,91 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// goldenResult is a hand-built Result with fixed numbers: the golden
+// test pins the CSV *layout* (column set, row order, acceptance-row
+// padding, float formatting) independently of the pipeline.
+func goldenResult() *Result {
+	return &Result{
+		Spec: Spec{Name: "golden"},
+		Cells: []CellAggregate{
+			{
+				Cell: "N=4/U=1/M=2/lexicographic", Trials: 4, Accepted: 2, AcceptRatio: 0.5,
+				Outcomes: map[string]int{OutcomeOK: 2, OutcomeUnschedulable: 2},
+				Metrics: map[string]Stats{
+					"gain":  {Count: 2, Mean: 1.5, Std: 0.5, Min: 1, Max: 2, P50: 1, P90: 2, P99: 2},
+					"moves": {Count: 2, Mean: 3.25, Std: 0.25, Min: 3, Max: 3.5, P50: 3, P90: 3.5, P99: 3.5},
+				},
+			},
+			{
+				Cell: "N=4/U=1/M=2/ratio", Trials: 4, Accepted: 0, AcceptRatio: 0,
+				Outcomes: map[string]int{OutcomeUnschedulable: 4},
+				Metrics:  map[string]Stats{},
+			},
+		},
+	}
+}
+
+// TestWriteCSVGolden pins the artifact bytes against testdata/golden.csv
+// (refresh deliberately with `go test -run WriteCSVGolden -update`).
+func TestWriteCSVGolden(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	path := filepath.Join("testdata", "golden.csv")
+	if *updateGolden {
+		if err := os.WriteFile(path, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("CSV layout drifted from golden file:\ngot:\n%s\nwant:\n%s", buf.Bytes(), want)
+	}
+}
+
+// TestWriteCSVRectangular checks that every row — the acceptance row
+// included — carries exactly the header's column count with explicit
+// empty strings for absent stats (encoding/csv errors on a ragged
+// record set, which is the check).
+func TestWriteCSVRectangular(t *testing.T) {
+	var buf bytes.Buffer
+	if err := goldenResult().WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("ragged CSV: %v", err)
+	}
+	if len(rows) != 1+3+1 {
+		t.Fatalf("rows: %d", len(rows))
+	}
+	for i, row := range rows {
+		if len(row) != len(csvHeader) {
+			t.Fatalf("row %d: %d columns, want %d", i, len(row), len(csvHeader))
+		}
+	}
+	// The acceptance row's stat columns are explicit empties.
+	accept := rows[1]
+	if accept[1] != "accept_ratio" || accept[2] != "4" || accept[3] != "0.5" {
+		t.Fatalf("acceptance row: %q", accept)
+	}
+	for col := 4; col < len(accept); col++ {
+		if accept[col] != "" {
+			t.Fatalf("acceptance row column %s: %q, want empty", csvHeader[col], accept[col])
+		}
+	}
+}

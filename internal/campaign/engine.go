@@ -1,7 +1,10 @@
 package campaign
 
 import (
+	"fmt"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/arch"
@@ -100,38 +103,119 @@ type Engine struct {
 	// byte-identical artifacts (the prefix computation is deterministic
 	// and clones share nothing mutable) — the determinism test pins this.
 	NoMemo bool
+
+	// Sink, when non-nil, receives every live-completed trial the moment
+	// it finishes — in completion order, not index order, and possibly
+	// from several workers at once (the sink must be safe for concurrent
+	// use). Replayed Done rows are never re-emitted. A sink error aborts
+	// the sweep: workers stop claiming trials and Run returns the first
+	// error, so a failing journal never silently degrades to an
+	// unjournaled run.
+	Sink func(TrialResult) error
+
+	// Done holds already-completed rows (typically recovered from a
+	// journal). Their trials are not re-run; the rows are folded into
+	// the result in index order alongside the live ones, so a resumed
+	// run produces byte-identical artifacts to an uninterrupted one.
+	// Rows must belong to the [Lo,Hi) range and match the spec's
+	// enumeration (index/cell/seed agreement is validated).
+	Done []TrialResult
+
+	// Lo and Hi restrict the run to the half-open trial-index range
+	// [Lo,Hi) of the spec's enumeration — the multi-host sharding hook.
+	// Hi = 0 means "through the last trial". The default zero values
+	// run the whole grid.
+	Lo, Hi int
 }
 
-// Run executes every trial of the spec and returns the deterministic
-// result. The spec is normalised in place.
+// Run executes every trial of the spec (minus replayed Done rows,
+// within [Lo,Hi)) and returns the deterministic result. The spec is
+// normalised in place.
 func (e *Engine) Run(spec *Spec) (*Result, error) {
 	trials, err := spec.Trials()
 	if err != nil {
 		return nil, err
 	}
-	order := cellOrder(trials)
+	lo, hi := e.Lo, e.Hi
+	if hi == 0 {
+		hi = len(trials)
+	}
+	if lo < 0 || hi > len(trials) || lo >= hi {
+		return nil, fmt.Errorf("campaign: shard range [%d,%d) outside trial range [0,%d)", lo, hi, len(trials))
+	}
+	shard := trials[lo:hi]
 	workers := e.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
-	var cache *prefixCache
-	if !e.NoMemo {
-		cache = newPrefixCache(trials)
+	// Seat the replayed rows and work out what is still pending.
+	results := make([]TrialResult, len(shard))
+	replayed := make([]bool, len(shard))
+	for _, r := range e.Done {
+		if err := matchTrial(trials, lo, hi, r); err != nil {
+			return nil, err
+		}
+		if replayed[r.Index-lo] {
+			return nil, fmt.Errorf("campaign: duplicate completed row for trial %d", r.Index)
+		}
+		results[r.Index-lo] = r
+		replayed[r.Index-lo] = true
+	}
+	pending := make([]Trial, 0, len(shard)-len(e.Done))
+	for i, t := range shard {
+		if !replayed[i] {
+			pending = append(pending, t)
+		}
 	}
 
-	coll := newCollector(order)
+	// The memo cache is counted over the pending trials only: replayed
+	// rows never consume a prefix, so counting them would strand cache
+	// entries (and a resumed process has no memo state to reuse anyway —
+	// memo entries are per-process).
+	var cache *prefixCache
+	if !e.NoMemo {
+		cache = newPrefixCache(pending)
+	}
+
+	coll := newCollector(cellOrder(shard))
+	for i := range results {
+		if replayed[i] {
+			coll.observe(results[i])
+		}
+	}
+
+	var (
+		aborted  atomic.Bool
+		sinkOnce sync.Once
+		sinkErr  error
+	)
 	start := time.Now()
-	results := Map(len(trials), workers, func(i int) TrialResult {
+	live := Map(len(pending), workers, func(i int) TrialResult {
+		if aborted.Load() {
+			return TrialResult{Index: -1}
+		}
 		var r TrialResult
 		if cache != nil {
-			r = cache.runTrial(trials[i])
+			r = cache.runTrial(pending[i])
 		} else {
-			r = RunTrial(trials[i])
+			r = RunTrial(pending[i])
 		}
 		coll.observe(r)
+		if e.Sink != nil {
+			if err := e.Sink(r); err != nil {
+				sinkOnce.Do(func() { sinkErr = err })
+				aborted.Store(true)
+			}
+		}
 		return r
 	})
+	if sinkErr != nil {
+		return nil, fmt.Errorf("campaign: sink: %w", sinkErr)
+	}
+	for _, r := range live {
+		results[r.Index-lo] = r
+	}
 	return &Result{
 		Spec:    *spec,
 		Cells:   coll.finalize(),
@@ -139,6 +223,22 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 		Workers: workers,
 		Elapsed: time.Since(start),
 	}, nil
+}
+
+// matchTrial checks that row r names a real trial of the enumeration,
+// inside [lo,hi), and agrees with it on cell and seed — the cheap
+// beyond-the-hash guard against folding a journal row into the wrong
+// spec.
+func matchTrial(trials []Trial, lo, hi int, r TrialResult) error {
+	if r.Index < lo || r.Index >= hi {
+		return fmt.Errorf("campaign: completed row index %d outside shard range [%d,%d)", r.Index, lo, hi)
+	}
+	t := trials[r.Index]
+	if r.Cell != t.Cell || r.Seed != t.Gen.Seed {
+		return fmt.Errorf("campaign: completed row %d (cell %q, seed %d) does not match spec enumeration (cell %q, seed %d)",
+			r.Index, r.Cell, r.Seed, t.Cell, t.Gen.Seed)
+	}
+	return nil
 }
 
 // trialPrefix is the policy-independent front of the pipeline: the

@@ -1,0 +1,44 @@
+package campaign
+
+import "fmt"
+
+// Fold rebuilds the full campaign Result from already-computed trial
+// rows — the multi-host merge path. Rows may arrive in any order (a
+// journal holds them in completion order; concatenated shards hold
+// them range by range); the fold is the same index-ordered one the
+// live engine uses, so the returned Result marshals byte-for-byte
+// identically to a single-host Engine.Run of the same spec.
+//
+// Coverage is validated strictly: every trial of the spec's
+// enumeration must be present exactly once, and each row must agree
+// with the enumeration on cell and seed. Any gap, duplicate, or
+// mismatch is an error — a merge must never quietly publish aggregates
+// over a partial sweep.
+func Fold(spec *Spec, rows []TrialResult) (*Result, error) {
+	trials, err := spec.Trials()
+	if err != nil {
+		return nil, err
+	}
+	if len(rows) != len(trials) {
+		return nil, fmt.Errorf("campaign: fold of %d rows over a %d-trial spec", len(rows), len(trials))
+	}
+	sorted := make([]TrialResult, len(trials))
+	seen := make([]bool, len(trials))
+	coll := newCollector(cellOrder(trials))
+	for _, r := range rows {
+		if err := matchTrial(trials, 0, len(trials), r); err != nil {
+			return nil, err
+		}
+		if seen[r.Index] {
+			return nil, fmt.Errorf("campaign: duplicate row for trial %d", r.Index)
+		}
+		seen[r.Index] = true
+		sorted[r.Index] = r
+		coll.observe(r)
+	}
+	return &Result{
+		Spec:   *spec,
+		Cells:  coll.finalize(),
+		Trials: sorted,
+	}, nil
+}

@@ -2,6 +2,8 @@ package campaign
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"os"
@@ -208,6 +210,23 @@ func cellOrder(trials []Trial) []string {
 		}
 	}
 	return order
+}
+
+// Hash returns the canonical identity of the sweep: the hex SHA-256 of
+// the normalised spec's compact JSON encoding. Two specs hash equal iff
+// they enumerate the same trial grid with the same effective knobs, so
+// the hash is what binds a journal (and every shard of a sharded run)
+// to its campaign. Normalises the spec in place.
+func (s *Spec) Hash() (string, error) {
+	if err := s.Normalize(); err != nil {
+		return "", err
+	}
+	data, err := json.Marshal(s)
+	if err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(data)
+	return hex.EncodeToString(sum[:]), nil
 }
 
 // LoadSpec reads a JSON sweep specification from path. Unknown keys

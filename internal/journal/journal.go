@@ -1,0 +1,455 @@
+// Package journal persists campaign trial results as they complete, so
+// a killed multi-hour sweep resumes instead of restarting and a sweep
+// split across hosts can be merged back into one artifact.
+//
+// A journal is an append-only stream of length-framed, checksummed
+// JSONL records:
+//
+//	<length:8 hex> <crc32c:8 hex> <payload JSON>\n
+//
+// The first record's payload is the Header, which binds the file to a
+// campaign (the SHA-256 of the normalised spec), a shard of its trial
+// enumeration ([Lo,Hi) of Total), and the spec itself, so a journal is
+// self-describing: the merge tool rebuilds the full Result from shard
+// files alone. Every following record is one campaign.TrialResult, in
+// completion order.
+//
+// Durability and recovery follow the append-only audit-log pattern: a
+// record is written with a single write call and the file is fsynced
+// every SyncEvery records (and on Close), so after a SIGKILL or power
+// loss the file holds a clean prefix of the stream plus at most one
+// torn record. The reader distinguishes the two failure shapes: a
+// partial final record (no trailing newline, short payload, or a
+// checksum mismatch with nothing after it) is a torn tail and is
+// dropped — the trial simply re-runs on resume — while any framing or
+// checksum violation before the end of the file means the journal was
+// corrupted in place and is reported as a hard error, never silently
+// skipped.
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+	"strconv"
+	"sync"
+
+	"repro/internal/campaign"
+)
+
+const (
+	// Magic identifies a trial journal; Version the frame/header schema.
+	Magic   = "lbjournal"
+	Version = 1
+
+	// DefaultSyncEvery is the default fsync cadence in records. A crash
+	// loses at most this many journaled trials (they just re-run on
+	// resume); lower it for precious sweeps, raise it for fast ones.
+	DefaultSyncEvery = 32
+)
+
+// castagnoli is the CRC-32C table (the polynomial used by ext4, iSCSI —
+// chosen over IEEE for its better burst-error detection).
+var castagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// Header is the first record of every journal. It pins the campaign
+// identity (SpecHash plus the normalised spec itself) and the shard of
+// the trial enumeration this file is allowed to contain.
+type Header struct {
+	Magic   string `json:"magic"`
+	Version int    `json:"version"`
+
+	// SpecHash is campaign.Spec.Hash() of Spec; resume and merge refuse
+	// journals whose hash disagrees with the spec they are asked to
+	// serve.
+	SpecHash string         `json:"spec_hash"`
+	Spec     *campaign.Spec `json:"spec"`
+
+	// ShardIndex/ShardCount name this file's slice of the sharded run
+	// (0/1 for an unsharded sweep); Lo/Hi is the half-open trial-index
+	// range it covers, Total the full enumeration size.
+	ShardIndex int `json:"shard_index"`
+	ShardCount int `json:"shard_count"`
+	Lo         int `json:"lo"`
+	Hi         int `json:"hi"`
+	Total      int `json:"total"`
+}
+
+// ShardRange is the deterministic index-range partition of a
+// total-trial enumeration: shard i of n (0-based) owns
+// [⌊total·i/n⌋, ⌊total·(i+1)/n⌋). Ranges are contiguous, disjoint, and
+// cover [0,total) exactly; sizes differ by at most one.
+func ShardRange(total, i, n int) (lo, hi int) {
+	return total * i / n, total * (i + 1) / n
+}
+
+// NewHeader builds the header for shard i of n over spec, normalising
+// the spec in place.
+func NewHeader(spec *campaign.Spec, i, n int) (Header, error) {
+	if n < 1 || i < 0 || i >= n {
+		return Header{}, fmt.Errorf("journal: shard %d/%d out of range", i+1, n)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return Header{}, err
+	}
+	trials, err := spec.Trials()
+	if err != nil {
+		return Header{}, err
+	}
+	lo, hi := ShardRange(len(trials), i, n)
+	if lo == hi {
+		return Header{}, fmt.Errorf("journal: shard %d/%d of a %d-trial sweep is empty — use at most %d shards",
+			i+1, n, len(trials), len(trials))
+	}
+	return Header{
+		Magic:      Magic,
+		Version:    Version,
+		SpecHash:   hash,
+		Spec:       spec,
+		ShardIndex: i,
+		ShardCount: n,
+		Lo:         lo,
+		Hi:         hi,
+		Total:      len(trials),
+	}, nil
+}
+
+// check validates a header's invariants after decode.
+func (h Header) check() error {
+	if h.Magic != Magic {
+		return fmt.Errorf("journal: bad magic %q (not a trial journal)", h.Magic)
+	}
+	if h.Version != Version {
+		return fmt.Errorf("journal: unsupported version %d (want %d)", h.Version, Version)
+	}
+	if h.Spec == nil {
+		return fmt.Errorf("journal: header carries no spec")
+	}
+	if h.Lo < 0 || h.Hi > h.Total || h.Lo >= h.Hi {
+		return fmt.Errorf("journal: header shard range [%d,%d) invalid for %d trials", h.Lo, h.Hi, h.Total)
+	}
+	// The embedded spec must hash to the recorded hash — a tampered or
+	// hand-edited spec is caught here even though its JSON still parses.
+	hash, err := h.Spec.Hash()
+	if err != nil {
+		return err
+	}
+	if hash != h.SpecHash {
+		return fmt.Errorf("journal: embedded spec hashes to %.12s…, header claims %.12s…", hash, h.SpecHash)
+	}
+	return nil
+}
+
+// compatible reports whether an on-disk header matches the header a
+// resuming run would write: same campaign, same shard.
+func (h Header) compatible(want Header) error {
+	if h.SpecHash != want.SpecHash {
+		return fmt.Errorf("journal: spec hash %.12s… does not match this sweep (%.12s…) — wrong spec or wrong journal", h.SpecHash, want.SpecHash)
+	}
+	if h.ShardIndex != want.ShardIndex || h.ShardCount != want.ShardCount || h.Lo != want.Lo || h.Hi != want.Hi || h.Total != want.Total {
+		return fmt.Errorf("journal: shard %d/%d [%d,%d) of %d does not match requested shard %d/%d [%d,%d) of %d",
+			h.ShardIndex+1, h.ShardCount, h.Lo, h.Hi, h.Total,
+			want.ShardIndex+1, want.ShardCount, want.Lo, want.Hi, want.Total)
+	}
+	return nil
+}
+
+// frame renders one record: payload length and CRC-32C in fixed-width
+// hex, a space-separated prefix, the payload, and the terminating
+// newline. json.Marshal never emits a raw newline byte, so the
+// terminator is unambiguous.
+func frame(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+19)
+	out = fmt.Appendf(out, "%08x %08x ", len(payload), crc32.Checksum(payload, castagnoli))
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// Writer appends checksummed trial records to a journal file. Append is
+// safe for concurrent use (the campaign engine's sink is called from
+// every worker).
+type Writer struct {
+	mu        sync.Mutex
+	f         *os.File
+	hdr       Header
+	unsynced  int
+	SyncEvery int // records between fsyncs; set before first Append
+}
+
+// Create starts a fresh journal at path, writing and syncing the
+// header. It refuses to overwrite an existing file — an old journal is
+// either resumed or deliberately deleted, never clobbered — and holds
+// an exclusive advisory lock on the file for the writer's lifetime.
+func Create(path string, hdr Header) (*Writer, error) {
+	if err := hdr.check(); err != nil {
+		return nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE|os.O_EXCL, 0o644)
+	if err != nil {
+		if os.IsExist(err) {
+			return nil, fmt.Errorf("journal: %s already exists — resume it or delete it first", path)
+		}
+		return nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("journal: locking %s: %w", path, err)
+	}
+	if err := initJournal(f, hdr); err != nil {
+		f.Close()
+		return nil, err
+	}
+	return &Writer{f: f, hdr: hdr, SyncEvery: DefaultSyncEvery}, nil
+}
+
+// initJournal resets f to a header-only journal: truncated, the header
+// frame written and synced.
+func initJournal(f *os.File, hdr Header) error {
+	payload, err := json.Marshal(hdr)
+	if err != nil {
+		return err
+	}
+	if err := f.Truncate(0); err != nil {
+		return err
+	}
+	if _, err := f.Seek(0, io.SeekStart); err != nil {
+		return err
+	}
+	if _, err := f.Write(frame(payload)); err != nil {
+		return fmt.Errorf("journal: writing header: %w", err)
+	}
+	return f.Sync()
+}
+
+// Append journals one completed trial and fsyncs every SyncEvery
+// records.
+func (w *Writer) Append(r campaign.TrialResult) error {
+	if r.Index < w.hdr.Lo || r.Index >= w.hdr.Hi {
+		return fmt.Errorf("journal: trial %d outside shard range [%d,%d)", r.Index, w.hdr.Lo, w.hdr.Hi)
+	}
+	payload, err := json.Marshal(r)
+	if err != nil {
+		return err
+	}
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return fmt.Errorf("journal: append after close")
+	}
+	if _, err := w.f.Write(frame(payload)); err != nil {
+		return fmt.Errorf("journal: appending trial %d: %w", r.Index, err)
+	}
+	w.unsynced++
+	if every := w.SyncEvery; every > 0 && w.unsynced >= every {
+		if err := w.f.Sync(); err != nil {
+			return err
+		}
+		w.unsynced = 0
+	}
+	return nil
+}
+
+// Sync forces the journal to stable storage.
+func (w *Writer) Sync() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	w.unsynced = 0
+	return w.f.Sync()
+}
+
+// Close syncs and closes the journal.
+func (w *Writer) Close() error {
+	w.mu.Lock()
+	defer w.mu.Unlock()
+	if w.f == nil {
+		return nil
+	}
+	f := w.f
+	w.f = nil
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// Journal is the decoded content of one journal file.
+type Journal struct {
+	Header Header
+	// Rows holds the journaled trials in file (completion) order.
+	Rows []campaign.TrialResult
+	// Torn is set when a partial final record was discarded; HeaderOK
+	// is false when not even the header survived (a crash during
+	// Create) — Header and Rows are then zero.
+	Torn     bool
+	HeaderOK bool
+	// clean is the byte offset of the recovered prefix; resume
+	// truncates the file here before appending.
+	clean int64
+}
+
+// Complete reports whether the journal covers its whole shard range.
+func (j *Journal) Complete() bool {
+	return j.HeaderOK && len(j.Rows) == j.Header.Hi-j.Header.Lo
+}
+
+// Read decodes a journal, verifying every frame. It recovers from a
+// torn tail (the one failure a crash can produce) and fails loudly on
+// everything else: a framing or checksum violation followed by more
+// data, a duplicate trial index, or a row outside the header's shard
+// range. Read takes no lock — merging or inspecting a journal while
+// its writer is alive is safe (the worst case is seeing an incomplete
+// shard, which the merge rejects loudly anyway).
+func Read(path string) (*Journal, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	return decode(path, data)
+}
+
+// decode parses journal bytes (see Read for the semantics).
+func decode(path string, data []byte) (*Journal, error) {
+	j := &Journal{}
+	seen := map[int]bool{}
+	off := 0
+	for rec := 0; off < len(data); rec++ {
+		payload, end, ok := parseFrame(data[off:])
+		if !ok {
+			// A bad frame with nothing after it is the torn tail a kill
+			// leaves behind — usually a strict prefix with no newline,
+			// but a power loss can also persist an append's sectors out
+			// of order, leaving a newline-terminated final record with a
+			// hole. Either way the tail is dropped and the trial re-runs
+			// on resume. A bad frame *followed by more data* cannot come
+			// from an interrupted append: that is in-place corruption.
+			if end < 0 || off+end == len(data) {
+				j.Torn = true
+				break
+			}
+			return nil, fmt.Errorf("journal: %s: corrupt record %d at offset %d", path, rec, off)
+		}
+		if rec == 0 {
+			if err := json.Unmarshal(payload, &j.Header); err != nil {
+				return nil, fmt.Errorf("journal: %s: decoding header: %w", path, err)
+			}
+			if err := j.Header.check(); err != nil {
+				return nil, fmt.Errorf("%w (%s)", err, path)
+			}
+			j.HeaderOK = true
+		} else {
+			var r campaign.TrialResult
+			if err := json.Unmarshal(payload, &r); err != nil {
+				return nil, fmt.Errorf("journal: %s: decoding record %d: %w", path, rec, err)
+			}
+			if r.Index < j.Header.Lo || r.Index >= j.Header.Hi {
+				return nil, fmt.Errorf("journal: %s: record %d holds trial %d outside shard range [%d,%d)",
+					path, rec, r.Index, j.Header.Lo, j.Header.Hi)
+			}
+			if seen[r.Index] {
+				return nil, fmt.Errorf("journal: %s: trial %d journaled twice", path, r.Index)
+			}
+			seen[r.Index] = true
+			j.Rows = append(j.Rows, r)
+		}
+		off += end
+		j.clean = int64(off)
+	}
+	return j, nil
+}
+
+// parseFrame decodes one record from the front of data. It returns the
+// payload, the number of bytes consumed (frame through its newline),
+// and whether the frame verified. On failure, end is the extent of the
+// bad frame when it is newline-terminated — letting the caller tell a
+// mid-file corruption (more data follows) from a torn tail — or -1
+// when the data ends without a newline.
+func parseFrame(data []byte) (payload []byte, end int, ok bool) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, -1, false
+	}
+	line := data[:nl]
+	end = nl + 1
+	// "llllllll cccccccc " + payload
+	if len(line) < 18 || line[8] != ' ' || line[17] != ' ' {
+		return nil, end, false
+	}
+	length, err1 := strconv.ParseUint(string(line[:8]), 16, 32)
+	sum, err2 := strconv.ParseUint(string(line[9:17]), 16, 32)
+	if err1 != nil || err2 != nil {
+		return nil, end, false
+	}
+	payload = line[18:]
+	if uint64(len(payload)) != length || uint64(crc32.Checksum(payload, castagnoli)) != sum {
+		return nil, end, false
+	}
+	return payload, end, true
+}
+
+// Resume opens the journal at path for continuation of the run
+// described by want: it validates the on-disk header against want,
+// truncates any torn tail, and returns an append-positioned writer
+// together with the recovered rows (the trials a resumed engine run
+// must not redo). A missing file — or one whose header never made it
+// to disk — starts fresh.
+//
+// The file is exclusively locked before it is even read, and the lock
+// is held for the writer's lifetime: resuming a journal whose original
+// process is still alive (the classic believed-dead restart) fails
+// loudly instead of letting two writers interleave rows and poison the
+// file with duplicate trial indices.
+func Resume(path string, want Header) (*Writer, []campaign.TrialResult, error) {
+	if err := want.check(); err != nil {
+		return nil, nil, err
+	}
+	f, err := os.OpenFile(path, os.O_RDWR|os.O_CREATE, 0o644)
+	if err != nil {
+		return nil, nil, err
+	}
+	if err := lockFile(f); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("journal: locking %s: %w — is another run still writing it?", path, err)
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	j, err := decode(path, data)
+	if err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	if !j.HeaderOK {
+		// A brand-new (or empty) file, or one beheaded mid-Create:
+		// nothing trustworthy on disk. Start over in place.
+		if err := initJournal(f, want); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+		return &Writer{f: f, hdr: want, SyncEvery: DefaultSyncEvery}, nil, nil
+	}
+	if err := j.Header.compatible(want); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("%w (%s)", err, path)
+	}
+	if j.Torn {
+		if err := f.Truncate(j.clean); err != nil {
+			f.Close()
+			return nil, nil, err
+		}
+	}
+	if _, err := f.Seek(j.clean, io.SeekStart); err != nil {
+		f.Close()
+		return nil, nil, err
+	}
+	return &Writer{f: f, hdr: j.Header, SyncEvery: DefaultSyncEvery}, j.Rows, nil
+}

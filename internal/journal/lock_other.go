@@ -1,0 +1,9 @@
+//go:build !unix
+
+package journal
+
+import "os"
+
+// lockFile is a no-op where flock is unavailable; journal integrity
+// then rests on Create's O_EXCL and the duplicate-index checks in Read.
+func lockFile(*os.File) error { return nil }

@@ -1,0 +1,21 @@
+//go:build unix
+
+package journal
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// lockFile takes a non-blocking exclusive advisory lock on f, held
+// until the file is closed. Two writers on one journal — the classic
+// believed-dead resume while the original run is still alive — would
+// otherwise interleave rows and poison the file with duplicate trial
+// indices.
+func lockFile(f *os.File) error {
+	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
+		return fmt.Errorf("held by another process (%w)", err)
+	}
+	return nil
+}

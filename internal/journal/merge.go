@@ -1,0 +1,85 @@
+package journal
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/campaign"
+)
+
+// Merge folds the shard journals at paths into the full campaign
+// Result — the multi-host counterpart of a single Engine.Run, and
+// byte-identical to it (campaign.Fold replays the same index-ordered
+// fold the live engine uses).
+//
+// Validation is strict and every failure is loud:
+//
+//   - every journal must read cleanly (framing + per-record CRC; a
+//     torn tail means the shard's run was killed and must be resumed
+//     before merging),
+//   - all headers must agree on version, spec hash, and total trial
+//     count (and each embedded spec must hash to its header's claim),
+//   - each shard must completely cover its own [Lo,Hi) range,
+//   - the ranges together must tile [0,Total) exactly — no gaps, no
+//     overlaps, no shard given twice.
+func Merge(paths []string) (*campaign.Result, error) {
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("journal: nothing to merge")
+	}
+	journals := make([]*Journal, 0, len(paths))
+	for _, p := range paths {
+		j, err := Read(p)
+		if err != nil {
+			return nil, err
+		}
+		if !j.HeaderOK {
+			return nil, fmt.Errorf("journal: %s has no intact header", p)
+		}
+		if !j.Complete() {
+			detail := ""
+			if j.Torn {
+				detail = " (torn tail: the shard's run was killed — resume it first)"
+			}
+			return nil, fmt.Errorf("journal: %s covers only %d of %d trials in [%d,%d)%s",
+				p, len(j.Rows), j.Header.Hi-j.Header.Lo, j.Header.Lo, j.Header.Hi, detail)
+		}
+		journals = append(journals, j)
+	}
+
+	base := journals[0].Header
+	for i, j := range journals[1:] {
+		h := j.Header
+		if h.SpecHash != base.SpecHash {
+			return nil, fmt.Errorf("journal: %s carries spec %.12s… but %s carries %.12s… — shards of different sweeps",
+				paths[i+1], h.SpecHash, paths[0], base.SpecHash)
+		}
+		if h.Total != base.Total {
+			return nil, fmt.Errorf("journal: %s enumerates %d trials, %s enumerates %d", paths[i+1], h.Total, paths[0], base.Total)
+		}
+	}
+
+	// The shard ranges must tile [0,Total) exactly.
+	order := make([]int, len(journals))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return journals[order[a]].Header.Lo < journals[order[b]].Header.Lo })
+	next := 0
+	rows := make([]campaign.TrialResult, 0, base.Total)
+	for _, i := range order {
+		h := journals[i].Header
+		if h.Lo != next {
+			if h.Lo < next {
+				return nil, fmt.Errorf("journal: %s covers [%d,%d), overlapping an earlier shard (boundary %d)", paths[i], h.Lo, h.Hi, next)
+			}
+			return nil, fmt.Errorf("journal: trials [%d,%d) are covered by no shard", next, h.Lo)
+		}
+		next = h.Hi
+		rows = append(rows, journals[i].Rows...)
+	}
+	if next != base.Total {
+		return nil, fmt.Errorf("journal: trials [%d,%d) are covered by no shard", next, base.Total)
+	}
+
+	return campaign.Fold(base.Spec, rows)
+}
