@@ -11,6 +11,14 @@
 //	lbfarm -spec sweep.json -workers 16 -out artifacts
 //	lbfarm -spec sweep.json -journal journals/sweep.jsonl -resume -progress
 //	lbfarm -spec sweep.json -shard 2/3   # then lbmerge the shard journals
+//	lbfarm -tasks 100 -analyzers schedulability,moves,contention
+//
+// -analyzers attaches named per-trial analyzers (see docs/analyzers.md):
+// accepted trials then carry a namespaced extras payload (schedulability
+// margins, move-trace summaries, contention stats) that folds into the
+// artifacts as additional metric columns. The analyzer set is part of
+// the sweep identity — journals written under one set refuse to resume
+// or merge under another.
 //
 // With -journal, every completed trial is appended to a checksummed
 // journal as it finishes, and -resume continues a killed sweep from
@@ -36,6 +44,7 @@ import (
 	"time"
 
 	"repro/internal/campaign"
+	"repro/internal/campaign/analyzers"
 	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/profiling"
@@ -73,6 +82,7 @@ func main() {
 		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
 		out      = flag.String("out", "artifacts", "artifact directory")
 		noTrials = flag.Bool("table-only", false, "print the table but write no artifacts")
+		anaFlag  = flag.String("analyzers", "", "comma-separated per-trial analyzers ("+strings.Join(analyzers.Names(), "|")+", or 'none'); overrides the spec's list and becomes part of the sweep identity")
 		noMemo   = flag.Bool("no-memo", false, "disable cross-policy prefix memoisation (one generate+schedule per policy cell instead of one per grid point; artifacts are identical either way)")
 		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
 		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
@@ -108,6 +118,19 @@ func main() {
 			Policies:    split(*policies),
 			Periods:     times(*periods),
 			CommTime:    model.Time(*comm),
+		}
+		if err := spec.Normalize(); err != nil {
+			fatal(err)
+		}
+	}
+	// -analyzers overrides whatever the spec carries ('none' clears an
+	// inherited list). The list is folded into the spec hash, so a
+	// journaled/sharded sweep is bound to its analyzer set from here on.
+	if *anaFlag != "" {
+		if *anaFlag == "none" {
+			spec.Analyzers = nil
+		} else {
+			spec.Analyzers = split(*anaFlag)
 		}
 		if err := spec.Normalize(); err != nil {
 			fatal(err)

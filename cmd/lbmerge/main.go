@@ -7,16 +7,24 @@
 // fold — the JSON and CSV it writes are byte-identical to what one
 // `lbfarm` run of the whole spec would have written.
 //
+// All shard headers must agree on the analyzer set the sweep ran with
+// (it is part of the spec hash); `-analyzers` additionally asserts what
+// that set must be, so a scripted pipeline fails fast when a shard was
+// produced without the extras it expects.
+//
 // Usage:
 //
-//	lbmerge [-out artifacts] [-table-only] shard1.jsonl shard2.jsonl ...
+//	lbmerge [-out artifacts] [-table-only] [-analyzers a,b] shard1.jsonl shard2.jsonl ...
 package main
 
 import (
 	"flag"
 	"fmt"
 	"log"
+	"slices"
+	"strings"
 
+	"repro/internal/campaign/analyzers"
 	"repro/internal/journal"
 )
 
@@ -26,17 +34,38 @@ func main() {
 	var (
 		out       = flag.String("out", "artifacts", "artifact directory")
 		tableOnly = flag.Bool("table-only", false, "print the table but write no artifacts")
+		anaFlag   = flag.String("analyzers", "", "assert the shards were produced with exactly this analyzer set (comma-separated, or 'none')")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: lbmerge [-out dir] shard1.jsonl shard2.jsonl ...")
+		log.Fatal("usage: lbmerge [-out dir] [-analyzers a,b] shard1.jsonl shard2.jsonl ...")
 	}
 
 	res, err := journal.Merge(flag.Args())
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("merged %d shards into campaign %q\n", flag.NArg(), res.Spec.Name)
+	if *anaFlag != "" {
+		var names []string
+		if *anaFlag != "none" {
+			for _, n := range strings.Split(*anaFlag, ",") {
+				names = append(names, strings.TrimSpace(n))
+			}
+		}
+		want, err := analyzers.Parse(names)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !slices.Equal(want.Names(), res.Spec.Analyzers) {
+			log.Fatalf("shards were produced with analyzers [%s], -analyzers requires [%s]",
+				strings.Join(res.Spec.Analyzers, ","), strings.Join(want.Names(), ","))
+		}
+	}
+	fmt.Printf("merged %d shards into campaign %q", flag.NArg(), res.Spec.Name)
+	if len(res.Spec.Analyzers) > 0 {
+		fmt.Printf(" (analyzers %s)", strings.Join(res.Spec.Analyzers, ","))
+	}
+	fmt.Println()
 	fmt.Print(res.Table())
 	if *tableOnly {
 		return

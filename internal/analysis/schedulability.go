@@ -102,6 +102,24 @@ func CheckSchedulability(ts *model.TaskSet, m int) (*SchedReport, error) {
 	return rep, nil
 }
 
+// UtilMargin returns the spare processor capacity M − ΣEi/Ti: how far
+// the task set sits below the utilisation bound. Zero means saturation,
+// negative means definitive infeasibility.
+func (r *SchedReport) UtilMargin() float64 {
+	return r.UtilBound - r.Utilization
+}
+
+// DensestMargin returns the free fraction of the densest period window:
+// 1 − demand/(M·P) for the densest period class P. It is 1 for an empty
+// report and clamps nothing — a negative value means even the densest
+// class alone overflows the architecture.
+func (r *SchedReport) DensestMargin() float64 {
+	if r.DensestPeriod <= 0 {
+		return 1
+	}
+	return 1 - float64(r.DensestDemand)/(r.UtilBound*float64(r.DensestPeriod))
+}
+
 // greedyIncompatClique grows a clique of pairwise-incompatible tasks
 // greedily (sound lower bound on the true maximum clique; stops early at
 // m+1 since that already proves infeasibility).

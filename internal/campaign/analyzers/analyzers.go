@@ -1,0 +1,225 @@
+// Package analyzers is the registry of named per-trial analyzers for
+// the campaign engine. An analyzer inspects one accepted trial — the
+// generated task set, the balancing trace, and the before/after
+// simulations — and contributes a fixed, namespaced set of scalar
+// observables ("extras") to the trial's result. Extras ride the same
+// ordered-fold aggregators as the headline metrics, so enabling an
+// analyzer adds columns to the JSON/CSV artifacts without disturbing
+// their byte-identical-at-any-worker-count guarantee.
+//
+// Determinism contract: an analyzer's Keys are a fixed sorted list, its
+// Run returns exactly one float64 per key computed from the trial's
+// private state alone, and nothing reads clocks, maps in iteration
+// order, or shared mutables. The analyzer set is part of the campaign
+// spec (and therefore of Spec.Hash()), so journals written under
+// different analyzer sets can never be silently mixed.
+package analyzers
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/sim"
+)
+
+// Input is the read-only view of one accepted trial handed to every
+// analyzer. All fields are set; analyzers must not mutate any of them
+// (the schedule inside Balance is shared with the caller).
+type Input struct {
+	TS    *model.TaskSet // the generated task set
+	Procs int            // architecture size M
+	Comm  model.Time     // inter-processor transfer time C
+
+	Balance *core.Result // balancing outcome: moves, blocks, balanced schedule
+	Before  *sim.Report  // simulation of the initial (pre-balance) schedule
+	After   *sim.Report  // simulation of the balanced schedule
+}
+
+// Analyzer is one named, deterministic per-trial instrument.
+type Analyzer struct {
+	// Name is the registry key (also the extras namespace prefix).
+	Name string
+	// Keys lists the fully-namespaced extras this analyzer emits,
+	// sorted. Run's result is aligned with it, index for index.
+	Keys []string
+	// NeedsCandidates marks analyzers that read the balancer's
+	// per-processor candidate evaluations; the engine turns candidate
+	// recording on only when such an analyzer is active, keeping the
+	// default hot path allocation-free.
+	NeedsCandidates bool
+	// PrefixOnly marks analyzers whose Run reads only the
+	// policy-independent trial prefix (TS, Procs, Comm — the Balance/
+	// Before/After fields may be nil). The engine evaluates them once
+	// per memoised prefix and shares the values across the policy cells
+	// of a grid point instead of recomputing per cell.
+	PrefixOnly bool
+	// Run computes the extras for one trial, one value per entry of
+	// Keys. It must be safe for concurrent invocation across trials.
+	Run func(in *Input) []float64
+}
+
+// registry holds the analyzers sorted by name — the canonical order
+// Parse normalises spec lists into. register keeps it sorted rather
+// than relying on init() order: init order follows source-file
+// compilation order, and the canonical order feeds Spec.Hash(), so
+// renaming a file must never invalidate every existing journal.
+var registry []*Analyzer
+
+func register(a *Analyzer) {
+	for _, k := range a.Keys {
+		if !strings.HasPrefix(k, a.Name+".") {
+			panic(fmt.Sprintf("analyzers: %s key %q outside its namespace", a.Name, k))
+		}
+	}
+	if !sort.StringsAreSorted(a.Keys) {
+		panic(fmt.Sprintf("analyzers: %s keys not sorted", a.Name))
+	}
+	for _, b := range registry {
+		if b.Name == a.Name {
+			panic(fmt.Sprintf("analyzers: %q registered twice", a.Name))
+		}
+	}
+	i := sort.Search(len(registry), func(j int) bool { return registry[j].Name > a.Name })
+	registry = append(registry, nil)
+	copy(registry[i+1:], registry[i:])
+	registry[i] = a
+}
+
+// Names returns every registered analyzer name in canonical order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, a := range registry {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Get looks an analyzer up by name.
+func Get(name string) (*Analyzer, bool) {
+	for _, a := range registry {
+		if a.Name == name {
+			return a, true
+		}
+	}
+	return nil, false
+}
+
+// Set is a resolved analyzer selection in canonical order. The nil Set
+// is the zero-analyzer fast path.
+type Set []*Analyzer
+
+// Parse resolves a list of analyzer names into a Set, rejecting unknown
+// names and duplicates. The result — and Names of it — is in canonical
+// (lexical) order regardless of the input order, so two specs naming
+// the same analyzers hash identically.
+func Parse(names []string) (Set, error) {
+	if len(names) == 0 {
+		return nil, nil
+	}
+	want := make(map[string]bool, len(names))
+	for _, n := range names {
+		if _, ok := Get(n); !ok {
+			return nil, fmt.Errorf("analyzers: unknown analyzer %q (want %s)", n, strings.Join(Names(), "|"))
+		}
+		if want[n] {
+			return nil, fmt.Errorf("analyzers: analyzer %q named twice", n)
+		}
+		want[n] = true
+	}
+	set := make(Set, 0, len(want))
+	for _, a := range registry {
+		if want[a.Name] {
+			set = append(set, a)
+		}
+	}
+	return set, nil
+}
+
+// Names returns the set's analyzer names in canonical order.
+func (s Set) Names() []string {
+	if len(s) == 0 {
+		return nil
+	}
+	out := make([]string, len(s))
+	for i, a := range s {
+		out[i] = a.Name
+	}
+	return out
+}
+
+// Keys returns the union of the set's extras keys, sorted. Namespacing
+// makes the per-analyzer key lists disjoint by construction.
+func (s Set) Keys() []string {
+	if len(s) == 0 {
+		return nil
+	}
+	var out []string
+	for _, a := range s {
+		out = append(out, a.Keys...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// NeedsCandidates reports whether any analyzer in the set needs the
+// balancer's candidate recording.
+func (s Set) NeedsCandidates() bool {
+	for _, a := range s {
+		if a.NeedsCandidates {
+			return true
+		}
+	}
+	return false
+}
+
+// Run executes every analyzer of the set over one trial and returns the
+// merged extras payload, or nil for the empty set.
+func (s Set) Run(in *Input) map[string]float64 {
+	return s.RunSuffix(in, s.RunPrefix(in))
+}
+
+// RunPrefix executes only the PrefixOnly analyzers — Input needs just
+// TS, Procs, and Comm. The campaign engine calls it once per memoised
+// prefix, so the policy cells sharing a grid point share one screen.
+func (s Set) RunPrefix(in *Input) map[string]float64 {
+	return s.runMatching(in, true, nil)
+}
+
+// RunSuffix executes the policy-dependent analyzers and merges the
+// precomputed prefix extras into the result. The prefix map is copied,
+// never retained or mutated — memoised prefixes hand the same map to
+// many concurrent trials.
+func (s Set) RunSuffix(in *Input, prefix map[string]float64) map[string]float64 {
+	var out map[string]float64
+	if len(prefix) > 0 {
+		out = make(map[string]float64, len(prefix))
+		for k, v := range prefix {
+			out[k] = v
+		}
+	}
+	return s.runMatching(in, false, out)
+}
+
+// runMatching runs the analyzers with the given PrefixOnly flavour into
+// out (allocated on first need, so the empty set stays nil).
+func (s Set) runMatching(in *Input, prefixOnly bool, out map[string]float64) map[string]float64 {
+	for _, a := range s {
+		if a.PrefixOnly != prefixOnly {
+			continue
+		}
+		vals := a.Run(in)
+		if len(vals) != len(a.Keys) {
+			panic(fmt.Sprintf("analyzers: %s returned %d values for %d keys", a.Name, len(vals), len(a.Keys)))
+		}
+		if out == nil {
+			out = make(map[string]float64)
+		}
+		for i, k := range a.Keys {
+			out[k] = vals[i]
+		}
+	}
+	return out
+}

@@ -1,0 +1,59 @@
+package analyzers
+
+import "repro/internal/sched"
+
+// The contention analyzer reads the balanced schedule's per-processor
+// occupancy over the makespan window (sched.Occupancy): how evenly the
+// busy time spreads across processors and how the idle time fragments
+// into windows. The paper's §1 motivation is exactly this quantity
+// ("over 65% of processors are idle at any given time"); the analyzer
+// shows how much of that idleness the balancing removed and where the
+// residual contention sits.
+
+func init() {
+	register(&Analyzer{
+		Name: "contention",
+		Keys: []string{
+			"contention.busy_max",
+			"contention.busy_mean",
+			"contention.busy_min",
+			"contention.busy_spread",
+			"contention.idle_window_max",
+			"contention.idle_windows_mean",
+		},
+		Run: runContention,
+	})
+}
+
+func runContention(in *Input) []float64 {
+	horizon := in.Balance.Schedule.Makespan()
+	occ := sched.Occupancy(in.Balance.Schedule, horizon)
+	if horizon <= 0 || len(occ) == 0 {
+		return make([]float64, 6)
+	}
+	h := float64(horizon)
+	busyMin, busyMax, busySum := 1.0, 0.0, 0.0
+	windows, maxIdle := 0, 0.0
+	for _, o := range occ {
+		busy := float64(o.Busy) / h
+		busySum += busy
+		if busy < busyMin {
+			busyMin = busy
+		}
+		if busy > busyMax {
+			busyMax = busy
+		}
+		windows += o.IdleWindows
+		if idle := float64(o.MaxIdle); idle > maxIdle {
+			maxIdle = idle
+		}
+	}
+	return []float64{
+		busyMax,
+		busySum / float64(len(occ)),
+		busyMin,
+		busyMax - busyMin,
+		maxIdle,
+		float64(windows) / float64(len(occ)),
+	}
+}

@@ -46,7 +46,9 @@ func csvRow(cols ...string) []string {
 //
 // plus one acceptance row per cell with metric "accept_ratio" (count =
 // trials, mean = ratio, and every remaining stat column an explicit
-// empty string).
+// empty string). Analyzer extras appear as additional metric rows under
+// their namespaced names ("schedulability.util_margin", …), sorted with
+// the rest.
 func (r *Result) WriteCSV(w io.Writer) error {
 	cw := csv.NewWriter(w)
 	if err := cw.Write(csvHeader); err != nil {
@@ -86,6 +88,9 @@ func (r *Result) Table() string {
 		r.Spec.Name, len(r.Trials), len(r.Cells))
 	if r.Workers > 0 {
 		fmt.Fprintf(&b, ", %d workers, %s", r.Workers, r.Elapsed.Round(1e6))
+	}
+	if len(r.Spec.Analyzers) > 0 {
+		fmt.Fprintf(&b, ", analyzers %s", strings.Join(r.Spec.Analyzers, ","))
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "%-36s %7s %8s %8s %12s %12s %8s\n",

@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/arch"
+	"repro/internal/campaign/analyzers"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/metrics"
@@ -61,6 +62,15 @@ type TrialResult struct {
 	Blocks     int `json:"blocks"`
 	Forced     int `json:"forced"`
 	RelaxedLCM int `json:"relaxed_lcm"`
+
+	// Extras is the namespaced analyzer payload of an accepted trial
+	// (see internal/campaign/analyzers): one entry per key of every
+	// analyzer named by the spec, nil when the spec names none or the
+	// trial was rejected. Keys carry their analyzer's namespace
+	// ("schedulability.util_margin"), so they never collide with the
+	// headline metric names, and the whole map folds through the same
+	// ordered aggregators into the artifacts.
+	Extras map[string]float64 `json:"extras,omitempty"`
 }
 
 // metrics returns the aggregated quantities of an accepted trial,
@@ -69,7 +79,7 @@ func (r TrialResult) metrics() map[string]float64 {
 	if r.Outcome != OutcomeOK {
 		return nil
 	}
-	return map[string]float64{
+	m := map[string]float64{
 		"gain":             float64(r.Gain),
 		"makespan_before":  float64(r.MakespanBefore),
 		"makespan_after":   float64(r.MakespanAfter),
@@ -88,6 +98,10 @@ func (r TrialResult) metrics() map[string]float64 {
 		"forced":           float64(r.Forced),
 		"relaxed_lcm":      float64(r.RelaxedLCM),
 	}
+	for k, v := range r.Extras {
+		m[k] = v
+	}
+	return m
 }
 
 // Engine runs campaigns over a fixed-size worker pool.
@@ -149,11 +163,20 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 		workers = runtime.GOMAXPROCS(0)
 	}
 
+	set, err := spec.AnalyzerSet()
+	if err != nil {
+		return nil, err
+	}
+	expectedExtras := set.Keys()
+
 	// Seat the replayed rows and work out what is still pending.
 	results := make([]TrialResult, len(shard))
 	replayed := make([]bool, len(shard))
 	for _, r := range e.Done {
 		if err := matchTrial(trials, lo, hi, r); err != nil {
+			return nil, err
+		}
+		if err := matchExtras(expectedExtras, r); err != nil {
 			return nil, err
 		}
 		if replayed[r.Index-lo] {
@@ -204,7 +227,10 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 		coll.observe(r)
 		if e.Sink != nil {
 			if err := e.Sink(r); err != nil {
-				sinkOnce.Do(func() { sinkErr = err })
+				// Name the trial, not the Map fan-out index: with Done
+				// replay rows the two disagree, and the trial index is
+				// what -resume diagnostics need.
+				sinkOnce.Do(func() { sinkErr = fmt.Errorf("trial %d: %w", r.Index, err) })
 				aborted.Store(true)
 			}
 		}
@@ -241,13 +267,41 @@ func matchTrial(trials []Trial, lo, hi int, r TrialResult) error {
 	return nil
 }
 
+// matchExtras checks that a replayed row's extras payload is exactly
+// what the spec's analyzer set would have produced: every expected key
+// present on an accepted row, nothing on a rejected one, and no strays
+// either way. A mismatch means the row was produced under a different
+// analyzer set (or tampered with) — folding it would publish artifacts
+// whose extras columns silently cover only part of the sweep.
+func matchExtras(expected []string, r TrialResult) error {
+	if r.Outcome != OutcomeOK {
+		if len(r.Extras) != 0 {
+			return fmt.Errorf("campaign: completed row %d was rejected (%s) but carries %d extras", r.Index, r.Outcome, len(r.Extras))
+		}
+		return nil
+	}
+	for _, k := range expected {
+		if _, ok := r.Extras[k]; !ok {
+			return fmt.Errorf("campaign: completed row %d is missing extra %q — journaled under a different analyzer set?", r.Index, k)
+		}
+	}
+	if len(r.Extras) != len(expected) {
+		return fmt.Errorf("campaign: completed row %d carries %d extras, the spec's analyzers produce %d — journaled under a different analyzer set?",
+			r.Index, len(r.Extras), len(expected))
+	}
+	return nil
+}
+
 // trialPrefix is the policy-independent front of the pipeline: the
-// generated system scheduled by the greedy substrate and simulated once.
-// A nil schedule carries the failure outcome instead.
+// generated system scheduled by the greedy substrate and simulated once,
+// plus the extras of the prefix-only analyzers (computed here so the
+// policy cells sharing a memoised prefix share one screen). A nil
+// schedule carries the failure outcome instead.
 type trialPrefix struct {
 	is        *sched.InstSchedule
 	repBefore *sim.Report
-	outcome   string // "" when the prefix succeeded
+	preExtras map[string]float64 // read-only once published
+	outcome   string             // "" when the prefix succeeded
 }
 
 // runPrefix computes generate → schedule → simulate(before) for one
@@ -276,15 +330,21 @@ func runPrefix(t Trial) trialPrefix {
 	// Materialise the per-processor listings now so every clone inherits
 	// them instead of re-deriving its own.
 	is.InstancesOn(0)
-	return trialPrefix{is: is, repBefore: repBefore}
+	pre := t.analyzers.RunPrefix(&analyzers.Input{TS: ts, Procs: ar.Procs, Comm: t.Comm})
+	return trialPrefix{is: is, repBefore: repBefore, preExtras: pre}
 }
 
 // finishTrial runs the policy-specific suffix (balance → simulate(after)
-// → analyze) on a private schedule.
-func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report) TrialResult {
+// → analyze) on a private schedule. preExtras carries the prefix-only
+// analyzer values (shared read-only across the policy cells of a
+// memoised prefix).
+func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtras map[string]float64) TrialResult {
 	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
 
-	bal := core.Balancer{Policy: t.Policy, IgnoreTiming: t.ignoreTiming}
+	// Candidate recording costs allocations on the balancer's innermost
+	// loop, so it is on only when an active analyzer consumes the trace.
+	bal := core.Balancer{Policy: t.Policy, IgnoreTiming: t.ignoreTiming,
+		RecordCandidates: t.analyzers.NeedsCandidates()}
 	res, err := bal.Run(is)
 	if err != nil {
 		r.Outcome = OutcomeBalanceError
@@ -321,6 +381,15 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report) TrialRe
 	r.Blocks = len(res.Blocks)
 	r.Forced = res.Forced
 	r.RelaxedLCM = res.RelaxedLCM
+	r.Extras = t.analyzers.RunSuffix(&analyzers.Input{
+		TS:    is.TS,
+		Procs: is.Arch.Procs,
+		Comm:  t.Comm,
+
+		Balance: res,
+		Before:  repBefore,
+		After:   repAfter,
+	}, preExtras)
 	return r
 }
 
@@ -332,7 +401,7 @@ func RunTrial(t Trial) TrialResult {
 	if pre.outcome != "" {
 		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
 	}
-	return finishTrial(t, pre.is, pre.repBefore)
+	return finishTrial(t, pre.is, pre.repBefore, pre.preExtras)
 }
 
 // summarize assembles the metrics.Summary for one distribution.

@@ -10,10 +10,12 @@ import "fmt"
 // identically to a single-host Engine.Run of the same spec.
 //
 // Coverage is validated strictly: every trial of the spec's
-// enumeration must be present exactly once, and each row must agree
-// with the enumeration on cell and seed. Any gap, duplicate, or
-// mismatch is an error — a merge must never quietly publish aggregates
-// over a partial sweep.
+// enumeration must be present exactly once, each row must agree with
+// the enumeration on cell and seed, and each accepted row must carry
+// exactly the extras the spec's analyzer set produces (rejected rows
+// none). Any gap, duplicate, or mismatch is an error — a merge must
+// never quietly publish aggregates over a partial sweep, nor extras
+// columns covering only part of one.
 func Fold(spec *Spec, rows []TrialResult) (*Result, error) {
 	trials, err := spec.Trials()
 	if err != nil {
@@ -22,11 +24,19 @@ func Fold(spec *Spec, rows []TrialResult) (*Result, error) {
 	if len(rows) != len(trials) {
 		return nil, fmt.Errorf("campaign: fold of %d rows over a %d-trial spec", len(rows), len(trials))
 	}
+	set, err := spec.AnalyzerSet()
+	if err != nil {
+		return nil, err
+	}
+	expectedExtras := set.Keys()
 	sorted := make([]TrialResult, len(trials))
 	seen := make([]bool, len(trials))
 	coll := newCollector(cellOrder(trials))
 	for _, r := range rows {
 		if err := matchTrial(trials, 0, len(trials), r); err != nil {
+			return nil, err
+		}
+		if err := matchExtras(expectedExtras, r); err != nil {
 			return nil, err
 		}
 		if seen[r.Index] {

@@ -18,8 +18,9 @@ import (
 // exactly once via sync.Once — a worker needing an in-flight prefix
 // blocks on the Once until it is ready. Results are byte-identical to
 // the unmemoised path because the prefix computation is deterministic
-// and nothing mutable is shared: the schedule is cloned per trial and
-// the before-report is read-only downstream.
+// and nothing mutable is shared: the schedule is cloned per trial, the
+// before-report is read-only downstream, and the prefix-only analyzer
+// extras are copied into each trial's payload.
 //
 // Memory: entries are dropped as soon as every trial sharing the prefix
 // has consumed it (a per-entry countdown initialised during enumeration),
@@ -83,5 +84,5 @@ func (c *prefixCache) runTrial(t Trial) TrialResult {
 	if pre.outcome != "" {
 		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
 	}
-	return finishTrial(t, pre.is.Clone(), pre.repBefore)
+	return finishTrial(t, pre.is.Clone(), pre.repBefore, pre.preExtras)
 }

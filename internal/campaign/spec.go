@@ -8,6 +8,7 @@ import (
 	"fmt"
 	"os"
 
+	"repro/internal/campaign/analyzers"
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/model"
@@ -50,6 +51,15 @@ type Spec struct {
 	// IgnoreTiming runs the balancer in the §5.2 memory-only regime
 	// where timing filters are disabled (Theorem 2's setting).
 	IgnoreTiming bool `json:"ignore_timing,omitempty"`
+
+	// Analyzers names the per-trial analyzers to attach (see
+	// internal/campaign/analyzers); accepted trials then carry a
+	// namespaced extras payload that folds into the artifacts. The list
+	// is canonicalised by Normalize and — being part of the marshalled
+	// spec — of Spec.Hash(), so journals written under different
+	// analyzer sets can never be mixed. Empty (the default) is the
+	// allocation-neutral fast path.
+	Analyzers []string `json:"analyzers,omitempty"`
 }
 
 // Trial is one fully-resolved pipeline run: a point of the spec grid
@@ -64,6 +74,7 @@ type Trial struct {
 	Policy core.Policy
 
 	ignoreTiming bool
+	analyzers    analyzers.Set
 }
 
 // Normalize fills defaults in place and validates the spec.
@@ -126,6 +137,14 @@ func (s *Spec) Normalize() error {
 			return err
 		}
 	}
+	// Canonicalise the analyzer list (validated, deduplicated, fixed
+	// registry order) so every spec naming the same analyzer set — in
+	// any order — marshals and hashes identically.
+	set, err := analyzers.Parse(s.Analyzers)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	s.Analyzers = set.Names()
 	// Duplicate axis values would enumerate identical grid points that
 	// share one cell key, double-counting every seed in the aggregates.
 	if err := noDups("tasks", s.Tasks); err != nil {
@@ -147,6 +166,10 @@ func (s *Spec) Normalize() error {
 // tasks ▸ utilization ▸ procs ▸ policy ▸ seed.
 func (s *Spec) Trials() ([]Trial, error) {
 	if err := s.Normalize(); err != nil {
+		return nil, err
+	}
+	set, err := s.AnalyzerSet()
+	if err != nil {
 		return nil, err
 	}
 	var out []Trial
@@ -177,6 +200,7 @@ func (s *Spec) Trials() ([]Trial, error) {
 							Comm:         s.CommTime,
 							Policy:       policy,
 							ignoreTiming: s.IgnoreTiming,
+							analyzers:    set,
 						})
 					}
 				}
@@ -187,6 +211,16 @@ func (s *Spec) Trials() ([]Trial, error) {
 		return nil, fmt.Errorf("campaign: spec %q enumerates no trials", s.Name)
 	}
 	return out, nil
+}
+
+// AnalyzerSet resolves the spec's analyzer names into the registry's
+// canonical Set (nil for the zero-analyzer fast path).
+func (s *Spec) AnalyzerSet() (analyzers.Set, error) {
+	set, err := analyzers.Parse(s.Analyzers)
+	if err != nil {
+		return nil, fmt.Errorf("campaign: %w", err)
+	}
+	return set, nil
 }
 
 // CellOrder returns the distinct cell keys in enumeration order.

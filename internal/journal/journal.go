@@ -34,7 +34,9 @@ import (
 	"hash/crc32"
 	"io"
 	"os"
+	"slices"
 	"strconv"
+	"strings"
 	"sync"
 
 	"repro/internal/campaign"
@@ -42,8 +44,11 @@ import (
 
 const (
 	// Magic identifies a trial journal; Version the frame/header schema.
+	// Version 2 added the analyzer-set binding (and analyzer extras on
+	// the trial rows): version-1 journals predate per-trial analyzers
+	// and are refused rather than silently merged without extras.
 	Magic   = "lbjournal"
-	Version = 1
+	Version = 2
 
 	// DefaultSyncEvery is the default fsync cadence in records. A crash
 	// loses at most this many journaled trials (they just re-run on
@@ -67,6 +72,12 @@ type Header struct {
 	// serve.
 	SpecHash string         `json:"spec_hash"`
 	Spec     *campaign.Spec `json:"spec"`
+
+	// Analyzers is the spec's canonicalised analyzer set, duplicated
+	// out of the spec so mixing rows produced under different analyzer
+	// sets fails with a targeted message (the spec hash alone would
+	// only say "different sweep").
+	Analyzers []string `json:"analyzers"`
 
 	// ShardIndex/ShardCount name this file's slice of the sharded run
 	// (0/1 for an unsharded sweep); Lo/Hi is the half-open trial-index
@@ -110,6 +121,7 @@ func NewHeader(spec *campaign.Spec, i, n int) (Header, error) {
 		Version:    Version,
 		SpecHash:   hash,
 		Spec:       spec,
+		Analyzers:  append([]string(nil), spec.Analyzers...),
 		ShardIndex: i,
 		ShardCount: n,
 		Lo:         lo,
@@ -141,12 +153,24 @@ func (h Header) check() error {
 	if hash != h.SpecHash {
 		return fmt.Errorf("journal: embedded spec hashes to %.12s…, header claims %.12s…", hash, h.SpecHash)
 	}
+	// Hash() normalised the embedded spec, so its analyzer list is
+	// canonical; the header's duplicate must agree with it exactly.
+	if !slices.Equal(h.Analyzers, h.Spec.Analyzers) {
+		return fmt.Errorf("journal: header analyzer set %v does not match the embedded spec's %v", h.Analyzers, h.Spec.Analyzers)
+	}
 	return nil
 }
 
 // compatible reports whether an on-disk header matches the header a
-// resuming run would write: same campaign, same shard.
+// resuming run would write: same campaign, same analyzer set, same
+// shard. The analyzer comparison comes first — an analyzer-set change
+// also changes the spec hash, and "resume with the same -analyzers or
+// start a fresh journal" is the actionable message.
 func (h Header) compatible(want Header) error {
+	if !slices.Equal(h.Analyzers, want.Analyzers) {
+		return fmt.Errorf("journal: written with analyzers %s, this run requests %s — resume with the matching -analyzers or start a fresh journal",
+			analyzerList(h.Analyzers), analyzerList(want.Analyzers))
+	}
 	if h.SpecHash != want.SpecHash {
 		return fmt.Errorf("journal: spec hash %.12s… does not match this sweep (%.12s…) — wrong spec or wrong journal", h.SpecHash, want.SpecHash)
 	}
@@ -156,6 +180,15 @@ func (h Header) compatible(want Header) error {
 			want.ShardIndex+1, want.ShardCount, want.Lo, want.Hi, want.Total)
 	}
 	return nil
+}
+
+// analyzerList renders an analyzer set for error messages; the empty
+// set prints as "none" rather than an empty bracket pair.
+func analyzerList(names []string) string {
+	if len(names) == 0 {
+		return "none"
+	}
+	return strings.Join(names, ",")
 }
 
 // frame renders one record: payload length and CRC-32C in fixed-width

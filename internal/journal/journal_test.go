@@ -5,6 +5,7 @@ import (
 	"encoding/json"
 	"os"
 	"path/filepath"
+	"reflect"
 	"strings"
 	"testing"
 
@@ -71,7 +72,7 @@ func TestRoundTrip(t *testing.T) {
 		byIdx[r.Index] = r
 	}
 	for _, want := range rows {
-		if got := byIdx[want.Index]; got != want {
+		if got := byIdx[want.Index]; !reflect.DeepEqual(got, want) {
 			t.Fatalf("trial %d: journaled %+v, ran %+v", want.Index, got, want)
 		}
 	}

@@ -1,0 +1,206 @@
+package journal
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/campaign"
+)
+
+// analyzerSpec is the test spec with the full analyzer set attached.
+func analyzerSpec() *campaign.Spec {
+	s := testSpec()
+	s.Analyzers = []string{"schedulability", "moves", "contention"}
+	return s
+}
+
+// journalSpec runs one shard of the given spec into a journal at path.
+func journalSpec(t *testing.T, spec *campaign.Spec, path string, shardIdx, shardCnt int) {
+	t.Helper()
+	hdr, err := NewHeader(spec, shardIdx, shardCnt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &campaign.Engine{Workers: 2, Lo: hdr.Lo, Hi: hdr.Hi, Sink: w.Append}
+	if _, err := eng.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestOldVersionRefused: a version-1 journal — the schema before the
+// analyzer binding — must be refused loudly by Read, Resume, and Merge,
+// never silently merged without its extras.
+func TestOldVersionRefused(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "old.jsonl")
+	hdr, err := NewHeader(testSpec(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Hand-frame a v1 header: the version check must fire before any
+	// hash validation gets a chance to complain about something else.
+	old := hdr
+	old.Version = 1
+	payload, err := json.Marshal(old)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, frame(payload), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	want := fmt.Sprintf("unsupported version 1 (want %d)", Version)
+	if _, err := Read(path); err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("Read of v1 journal: %v", err)
+	}
+	if _, _, err := Resume(path, hdr); err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("Resume of v1 journal: %v", err)
+	}
+	if _, err := Merge([]string{path}); err == nil || !strings.Contains(err.Error(), want) {
+		t.Fatalf("Merge of v1 journal: %v", err)
+	}
+}
+
+// TestResumeRefusesDifferentAnalyzers: a journal written under one
+// analyzer set refuses to resume under another — in both directions —
+// with a message naming the two sets.
+func TestResumeRefusesDifferentAnalyzers(t *testing.T) {
+	dir := t.TempDir()
+
+	withPath := filepath.Join(dir, "with.jsonl")
+	journalSpec(t, analyzerSpec(), withPath, 0, 1)
+	plainHdr, err := NewHeader(testSpec(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(withPath, plainHdr); err == nil || !strings.Contains(err.Error(), "written with analyzers") {
+		t.Fatalf("resume analyzer journal without analyzers: %v", err)
+	}
+
+	plainPath := filepath.Join(dir, "plain.jsonl")
+	journalSpec(t, testSpec(), plainPath, 0, 1)
+	anaHdr, err := NewHeader(analyzerSpec(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(plainPath, anaHdr); err == nil || !strings.Contains(err.Error(), "written with analyzers none") {
+		t.Fatalf("resume plain journal with analyzers: %v", err)
+	}
+
+	// A subset is still a mismatch.
+	subset := testSpec()
+	subset.Analyzers = []string{"schedulability"}
+	subHdr, err := NewHeader(subset, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Resume(withPath, subHdr); err == nil || !strings.Contains(err.Error(), "written with analyzers") {
+		t.Fatalf("resume with analyzer subset: %v", err)
+	}
+}
+
+// TestMergeRefusesMixedAnalyzers: shards produced under different
+// analyzer sets must not merge, with the analyzer mismatch — not the
+// generic spec-hash disagreement — in the error.
+func TestMergeRefusesMixedAnalyzers(t *testing.T) {
+	dir := t.TempDir()
+	p0 := filepath.Join(dir, "ana.jsonl")
+	p1 := filepath.Join(dir, "plain.jsonl")
+	journalSpec(t, analyzerSpec(), p0, 0, 2)
+	journalSpec(t, testSpec(), p1, 1, 2)
+	if _, err := Merge([]string{p0, p1}); err == nil || !strings.Contains(err.Error(), "different analyzer sets") {
+		t.Fatalf("mixed analyzer merge: %v", err)
+	}
+}
+
+// TestCrashResumeWithAnalyzers: a killed analyzer sweep resumes into
+// artifacts byte-identical to the uninterrupted run, extras included —
+// the recovered rows' extras pass the structural replay validation.
+func TestCrashResumeWithAnalyzers(t *testing.T) {
+	res, err := (&campaign.Engine{Workers: 4}).Run(analyzerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := artifacts(t, res)
+
+	dir := t.TempDir()
+	full := filepath.Join(dir, "full.jsonl")
+	journalSpec(t, analyzerSpec(), full, 0, 1)
+	data, err := os.ReadFile(full)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, frac := range []int{4, 2, 1} { // cut at ¼, ½, and just short of the end
+		cut := len(data)/frac - 3
+		path := filepath.Join(dir, "killed.jsonl")
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		hdr, err := NewHeader(analyzerSpec(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, done, err := Resume(path, hdr)
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		eng := &campaign.Engine{Workers: 2, Done: done, Sink: w.Append}
+		resumed, err := eng.Run(analyzerSpec())
+		if err != nil {
+			t.Fatalf("cut=%d: %v", cut, err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		gotJSON, gotCSV := artifacts(t, resumed)
+		if !bytes.Equal(gotJSON, refJSON) || !bytes.Equal(gotCSV, refCSV) {
+			t.Fatalf("cut=%d (%d rows recovered): resumed analyzer artifacts differ", cut, len(done))
+		}
+		if err := os.Remove(path); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestMergeAnalyzersByteIdentical: the acceptance criterion's multi-host
+// half with analyzers on — three shard journals merge into artifacts
+// byte-identical to the uninterrupted single-host run, extras included.
+func TestMergeAnalyzersByteIdentical(t *testing.T) {
+	res, err := (&campaign.Engine{Workers: 4}).Run(analyzerSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, refCSV := artifacts(t, res)
+	if !bytes.Contains(refCSV, []byte("schedulability.util_margin")) {
+		t.Fatal("reference CSV lacks extras columns")
+	}
+
+	dir := t.TempDir()
+	paths := make([]string, 3)
+	for i := range paths {
+		paths[i] = filepath.Join(dir, fmt.Sprintf("shard%d.jsonl", i+1))
+		journalSpec(t, analyzerSpec(), paths[i], i, 3)
+	}
+	merged, err := Merge([]string{paths[2], paths[0], paths[1]})
+	if err != nil {
+		t.Fatal(err)
+	}
+	gotJSON, gotCSV := artifacts(t, merged)
+	if !bytes.Equal(gotJSON, refJSON) {
+		t.Fatal("merged JSON differs from single-host run with analyzers")
+	}
+	if !bytes.Equal(gotCSV, refCSV) {
+		t.Fatal("merged CSV differs from single-host run with analyzers")
+	}
+}

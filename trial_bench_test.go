@@ -38,6 +38,44 @@ func paperScaleInput(tb testing.TB) (*model.TaskSet, *arch.Architecture) {
 	return ts, arch.MustNew(procs, 1)
 }
 
+// TestTrialAllocNeutral pins the zero-analyzer fast path of the
+// pipeline BenchmarkTrial measures: a trial with no analyzers attached
+// must neither record balancer candidates nor build an extras payload,
+// so its allocation count stays where the PR-2 optimisation left it.
+// The cap carries ~15% headroom over the measured 616 allocs/trial for
+// this configuration; an analyzer-plumbing regression (candidate slices
+// on by default, eager extras maps) blows well past it.
+func TestTrialAllocNeutral(t *testing.T) {
+	trial := campaign.Trial{Cell: "alloc", Gen: gen.Config{Seed: 3, Tasks: 12, Utilization: 1.5}, Procs: 3, Comm: 1}
+	if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK || r.Extras != nil {
+		t.Fatalf("warmup: outcome %q extras %v", r.Outcome, r.Extras)
+	}
+	allocs := testing.AllocsPerRun(20, func() {
+		if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
+			t.Fatalf("outcome %q", r.Outcome)
+		}
+	})
+	const maxAllocs = 710
+	if allocs > maxAllocs {
+		t.Fatalf("zero-analyzer trial allocates %.0f objects, cap %d — analyzer plumbing leaked into the fast path", allocs, maxAllocs)
+	}
+
+	// The analyzer path is the one allowed to pay: the same grid point
+	// with analyzers attached must produce extras (and may allocate).
+	spec := &campaign.Spec{
+		Seeds: 1, SeedBase: 3,
+		Tasks: []int{12}, Utilization: []float64{1.5}, Procs: []int{3},
+		Analyzers: []string{"schedulability", "moves", "contention"},
+	}
+	trials, err := spec.Trials()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := campaign.RunTrial(trials[0]); r.Outcome != campaign.OutcomeOK || len(r.Extras) == 0 {
+		t.Fatalf("analyzer trial: outcome %q, %d extras", r.Outcome, len(r.Extras))
+	}
+}
+
 // BenchmarkTrial measures single-trial cost at paper scale, split by
 // stage. The end-to-end case is exactly what one campaign worker runs
 // per trial, so its latency bounds every sweep's throughput.
