@@ -11,14 +11,19 @@
 //	lbfarm -spec sweep.json -workers 16 -out artifacts
 //	lbfarm -spec sweep.json -journal journals/sweep.jsonl -resume -progress
 //	lbfarm -spec sweep.json -shard 2/3   # then lbmerge the shard journals
-//	lbfarm -tasks 100 -analyzers schedulability,moves,contention
+//	lbfarm -tasks 100 -analyzers schedulability,moves,contention,reuse
+//	lbfarm -tasks 100 -analyzers contention,reuse -analyzer-phases before,after
 //
 // -analyzers attaches named per-trial analyzers (see docs/analyzers.md):
 // accepted trials then carry a namespaced extras payload (schedulability
-// margins, move-trace summaries, contention stats) that folds into the
-// artifacts as additional metric columns. The analyzer set is part of
-// the sweep identity — journals written under one set refuse to resume
-// or merge under another.
+// margins, move-trace summaries, contention stats, memory-reuse
+// accounting) that folds into the artifacts as additional metric
+// columns. -analyzer-phases before,after additionally runs the
+// phase-sensitive analyzers over the initial pre-balancing schedule,
+// adding before.<ns>.* and delta.<ns>.* columns that quantify per cell
+// what the balancing step bought. The analyzer set and the phase set
+// are part of the sweep identity — journals written under one set
+// refuse to resume or merge under another.
 //
 // With -journal, every completed trial is appended to a checksummed
 // journal as it finishes, and -resume continues a killed sweep from
@@ -48,6 +53,7 @@ import (
 	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/profiling"
+	"repro/internal/progress"
 )
 
 // flushProfile stops any active pprof capture; every fatal exit routes
@@ -69,23 +75,24 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbfarm: ")
 	var (
-		specPath = flag.String("spec", "", "JSON sweep specification (overrides the grid flags)")
-		name     = flag.String("name", "campaign", "campaign name (artifact basename)")
-		seeds    = flag.Int("seeds", 20, "seeds per grid cell")
-		seedBase = flag.Int64("seed-base", 0, "first seed")
-		tasks    = flag.String("tasks", "40", "comma-separated task counts")
-		util     = flag.String("util", "2.5", "comma-separated target utilisations")
-		procs    = flag.String("procs", "4", "comma-separated processor counts")
-		policies = flag.String("policies", "lexicographic", "comma-separated policies: lexicographic|ratio|memory-only")
-		periods  = flag.String("periods", "", "comma-separated harmonic period ladder (empty = generator default)")
-		comm     = flag.Int64("comm", 1, "inter-processor transfer time C")
-		workers  = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
-		out      = flag.String("out", "artifacts", "artifact directory")
-		noTrials = flag.Bool("table-only", false, "print the table but write no artifacts")
-		anaFlag  = flag.String("analyzers", "", "comma-separated per-trial analyzers ("+strings.Join(analyzers.Names(), "|")+", or 'none'); overrides the spec's list and becomes part of the sweep identity")
-		noMemo   = flag.Bool("no-memo", false, "disable cross-policy prefix memoisation (one generate+schedule per policy cell instead of one per grid point; artifacts are identical either way)")
-		cpuProf  = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
-		memProf  = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
+		specPath  = flag.String("spec", "", "JSON sweep specification (overrides the grid flags)")
+		name      = flag.String("name", "campaign", "campaign name (artifact basename)")
+		seeds     = flag.Int("seeds", 20, "seeds per grid cell")
+		seedBase  = flag.Int64("seed-base", 0, "first seed")
+		tasks     = flag.String("tasks", "40", "comma-separated task counts")
+		util      = flag.String("util", "2.5", "comma-separated target utilisations")
+		procs     = flag.String("procs", "4", "comma-separated processor counts")
+		policies  = flag.String("policies", "lexicographic", "comma-separated policies: lexicographic|ratio|memory-only")
+		periods   = flag.String("periods", "", "comma-separated harmonic period ladder (empty = generator default)")
+		comm      = flag.Int64("comm", 1, "inter-processor transfer time C")
+		workers   = flag.Int("workers", 0, "worker goroutines (0 = GOMAXPROCS)")
+		out       = flag.String("out", "artifacts", "artifact directory")
+		noTrials  = flag.Bool("table-only", false, "print the table but write no artifacts")
+		anaFlag   = flag.String("analyzers", "", "comma-separated per-trial analyzers ("+strings.Join(analyzers.Names(), "|")+", or 'none'); overrides the spec's list and becomes part of the sweep identity")
+		phaseFlag = flag.String("analyzer-phases", "", "schedule phases the analyzers run over (after | before,after); overrides the spec's list and becomes part of the sweep identity")
+		noMemo    = flag.Bool("no-memo", false, "disable cross-policy prefix memoisation (one generate+schedule per policy cell instead of one per grid point; artifacts are identical either way)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the sweep to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile taken after the sweep to this file")
 
 		journalPath = flag.String("journal", "", "append completed trials to this checksummed journal (default with -shard: journals/<name>.shard<i>of<n>.jsonl)")
 		resume      = flag.Bool("resume", false, "resume from the journal at -journal, skipping already-journaled trials")
@@ -123,18 +130,30 @@ func main() {
 			fatal(err)
 		}
 	}
-	// -analyzers overrides whatever the spec carries ('none' clears an
-	// inherited list). The list is folded into the spec hash, so a
-	// journaled/sharded sweep is bound to its analyzer set from here on.
+	// -analyzers and -analyzer-phases override whatever the spec carries
+	// ('none' clears an inherited analyzer list). Both lists are folded
+	// into the spec hash, so a journaled/sharded sweep is bound to its
+	// analyzer and phase sets from here on.
 	if *anaFlag != "" {
 		if *anaFlag == "none" {
 			spec.Analyzers = nil
 		} else {
 			spec.Analyzers = split(*anaFlag)
 		}
+	}
+	if *phaseFlag != "" {
+		spec.AnalyzerPhases = split(*phaseFlag)
+	}
+	if *anaFlag != "" || *phaseFlag != "" {
 		if err := spec.Normalize(); err != nil {
 			fatal(err)
 		}
+	}
+	// Normalize collapses the phase set to the default when no analyzers
+	// are attached (there are no extras to phase); say so rather than
+	// letting the flag silently vanish from the sweep identity.
+	if *phaseFlag != "" && len(spec.Analyzers) == 0 {
+		log.Printf("note: -analyzer-phases %s has no effect without analyzers; running with the default phase set", *phaseFlag)
 	}
 
 	trials, err := spec.Trials()
@@ -267,23 +286,15 @@ func parseShard(s string) (idx, count int, err error) {
 // startProgress prints a progress line to stderr every few seconds:
 // trials done/total, accept ratio over the observed trials, and an ETA
 // extrapolated from the live completion rate (journal-replayed trials
-// are excluded from the rate). The returned func stops the ticker and
-// prints a final line.
+// are excluded from the rate). The formatting and rate arithmetic live
+// in internal/progress as pure, unit-tested functions of an injected
+// elapsed time; this wrapper only owns the ticker and the clock. The
+// returned func stops the ticker and prints a final line.
 func startProgress(doneN, okN *atomic.Int64, base, total int64) func() {
 	start := time.Now()
 	line := func() {
-		d, ok := doneN.Load(), okN.Load()
-		var accept float64
-		if d > 0 {
-			accept = float64(ok) / float64(d)
-		}
-		eta := "?"
-		if live := d - base; live > 0 {
-			rate := float64(live) / time.Since(start).Seconds()
-			eta = time.Duration(float64(total-d) / rate * float64(time.Second)).Round(time.Second).String()
-		}
-		fmt.Fprintf(os.Stderr, "lbfarm: %d/%d trials (%.0f%%), accept %.0f%%, eta %s\n",
-			d, total, 100*float64(d)/float64(total), 100*accept, eta)
+		fmt.Fprintf(os.Stderr, "lbfarm: %s\n",
+			progress.Line(doneN.Load(), okN.Load(), base, total, time.Since(start)))
 	}
 	tick := time.NewTicker(2 * time.Second)
 	quit := make(chan struct{})

@@ -7,14 +7,16 @@
 // fold — the JSON and CSV it writes are byte-identical to what one
 // `lbfarm` run of the whole spec would have written.
 //
-// All shard headers must agree on the analyzer set the sweep ran with
-// (it is part of the spec hash); `-analyzers` additionally asserts what
-// that set must be, so a scripted pipeline fails fast when a shard was
-// produced without the extras it expects.
+// All shard headers must agree on the analyzer set and the analyzer
+// phase set the sweep ran with (both are part of the spec hash);
+// `-analyzers` and `-analyzer-phases` additionally assert what those
+// sets must be, so a scripted pipeline fails fast when a shard was
+// produced without the extras (or the before/delta columns) it
+// expects.
 //
 // Usage:
 //
-//	lbmerge [-out artifacts] [-table-only] [-analyzers a,b] shard1.jsonl shard2.jsonl ...
+//	lbmerge [-out artifacts] [-table-only] [-analyzers a,b] [-analyzer-phases before,after] shard1.jsonl shard2.jsonl ...
 package main
 
 import (
@@ -35,10 +37,11 @@ func main() {
 		out       = flag.String("out", "artifacts", "artifact directory")
 		tableOnly = flag.Bool("table-only", false, "print the table but write no artifacts")
 		anaFlag   = flag.String("analyzers", "", "assert the shards were produced with exactly this analyzer set (comma-separated, or 'none')")
+		phaseFlag = flag.String("analyzer-phases", "", "assert the shards were produced with exactly this analyzer phase set (after | before,after)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
-		log.Fatal("usage: lbmerge [-out dir] [-analyzers a,b] shard1.jsonl shard2.jsonl ...")
+		log.Fatal("usage: lbmerge [-out dir] [-analyzers a,b] [-analyzer-phases before,after] shard1.jsonl shard2.jsonl ...")
 	}
 
 	res, err := journal.Merge(flag.Args())
@@ -48,9 +51,7 @@ func main() {
 	if *anaFlag != "" {
 		var names []string
 		if *anaFlag != "none" {
-			for _, n := range strings.Split(*anaFlag, ",") {
-				names = append(names, strings.TrimSpace(n))
-			}
+			names = split(*anaFlag)
 		}
 		want, err := analyzers.Parse(names)
 		if err != nil {
@@ -61,9 +62,20 @@ func main() {
 				strings.Join(res.Spec.Analyzers, ","), strings.Join(want.Names(), ","))
 		}
 	}
+	if *phaseFlag != "" {
+		want, err := analyzers.ParsePhases(split(*phaseFlag))
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !slices.Equal(want.Names(), res.Spec.AnalyzerPhases) {
+			log.Fatalf("shards were produced with analyzer phases [%s], -analyzer-phases requires [%s]",
+				strings.Join(res.Spec.AnalyzerPhases, ","), strings.Join(want.Names(), ","))
+		}
+	}
 	fmt.Printf("merged %d shards into campaign %q", flag.NArg(), res.Spec.Name)
 	if len(res.Spec.Analyzers) > 0 {
-		fmt.Printf(" (analyzers %s)", strings.Join(res.Spec.Analyzers, ","))
+		fmt.Printf(" (analyzers %s; phases %s)",
+			strings.Join(res.Spec.Analyzers, ","), strings.Join(res.Spec.AnalyzerPhases, ","))
 	}
 	fmt.Println()
 	fmt.Print(res.Table())
@@ -75,4 +87,13 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
+}
+
+// split breaks a comma-separated flag value into trimmed parts.
+func split(s string) []string {
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
 }

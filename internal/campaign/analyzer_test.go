@@ -9,10 +9,10 @@ import (
 )
 
 // analyzerSpec is the smoke spec with every registered analyzer
-// attached.
+// attached (after phase only — phaseSpec adds the before phase).
 func analyzerSpec() *Spec {
 	s := smokeSpec()
-	s.Analyzers = []string{"schedulability", "moves", "contention"}
+	s.Analyzers = []string{"schedulability", "moves", "contention", "reuse"}
 	return s
 }
 
@@ -176,7 +176,7 @@ func TestAnalyzerSpecHash(t *testing.T) {
 		t.Fatal("analyzer set does not change the spec hash")
 	}
 	reordered := smokeSpec()
-	reordered.Analyzers = []string{"contention", "schedulability", "moves"}
+	reordered.Analyzers = []string{"contention", "reuse", "schedulability", "moves"}
 	h, err := reordered.Hash()
 	if err != nil {
 		t.Fatal(err)

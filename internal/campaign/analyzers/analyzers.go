@@ -7,31 +7,62 @@
 // analyzer adds columns to the JSON/CSV artifacts without disturbing
 // their byte-identical-at-any-worker-count guarantee.
 //
+// Analyzers run over one or two schedule phases (see phases.go): the
+// balanced schedule always (the unprefixed keys), and — when the
+// sweep enables the before phase — the initial pre-balancing schedule
+// too, adding before.<ns>.* and delta.<ns>.* keys that quantify what
+// balancing bought per trial.
+//
 // Determinism contract: an analyzer's Keys are a fixed sorted list, its
-// Run returns exactly one float64 per key computed from the trial's
-// private state alone, and nothing reads clocks, maps in iteration
-// order, or shared mutables. The analyzer set is part of the campaign
-// spec (and therefore of Spec.Hash()), so journals written under
-// different analyzer sets can never be silently mixed.
+// Run returns exactly one finite float64 per key computed from the
+// trial's private state alone, and nothing reads clocks, maps in
+// iteration order, or shared mutables. Non-finite values (NaN, ±Inf)
+// are rejected at the Run boundary with an error naming the analyzer
+// and key — encoding/json cannot represent them, and catching the bad
+// value when the trial runs beats failing at artifact-write time after
+// the whole sweep has burned. The analyzer set and the phase set are
+// part of the campaign spec (and therefore of Spec.Hash()), so journals
+// written under different analyzer or phase sets can never be silently
+// mixed.
 package analyzers
 
 import (
 	"fmt"
+	"math"
 	"sort"
 	"strings"
 
 	"repro/internal/core"
 	"repro/internal/model"
+	"repro/internal/sched"
 	"repro/internal/sim"
 )
 
-// Input is the read-only view of one accepted trial handed to every
-// analyzer. All fields are set; analyzers must not mutate any of them
-// (the schedule inside Balance is shared with the caller).
+// Input is the read-only view of one trial phase handed to every
+// analyzer. Analyzers must not mutate any field (the schedules are
+// shared with the caller and, under memoisation, across trials).
+//
+// Which fields are set depends on the phase:
+//
+//   - TS, Procs, and Comm are always set.
+//   - Sched and Rep are the phase's schedule and its simulation: the
+//     initial (pre-balance) schedule in the before phase, the balanced
+//     one in the after phase. Phase-sensitive analyzers read these two
+//     and nothing else, which is what makes them phase-agnostic. (The
+//     current analyzers read only Sched; Rep is the deliberate
+//     extension point for simulation-reading analyzers, populated in
+//     both phases so such an analyzer never has to branch on
+//     Balance != nil to pick Before or After.)
+//   - Balance and After are set only in the after phase (AfterOnly
+//     analyzers read the balancing outcome); Before is set in both
+//     schedule phases. All three are nil for PrefixOnly analyzers.
 type Input struct {
 	TS    *model.TaskSet // the generated task set
 	Procs int            // architecture size M
 	Comm  model.Time     // inter-processor transfer time C
+
+	Sched *sched.InstSchedule // the phase's schedule
+	Rep   *sim.Report         // simulation of the phase's schedule
 
 	Balance *core.Result // balancing outcome: moves, blocks, balanced schedule
 	Before  *sim.Report  // simulation of the initial (pre-balance) schedule
@@ -51,15 +82,26 @@ type Analyzer struct {
 	// default hot path allocation-free.
 	NeedsCandidates bool
 	// PrefixOnly marks analyzers whose Run reads only the
-	// policy-independent trial prefix (TS, Procs, Comm — the Balance/
-	// Before/After fields may be nil). The engine evaluates them once
+	// policy-independent trial prefix (TS, Procs, Comm — the schedule
+	// and balance fields may be nil). The engine evaluates them once
 	// per memoised prefix and shares the values across the policy cells
-	// of a grid point instead of recomputing per cell.
+	// of a grid point instead of recomputing per cell. A PrefixOnly
+	// analyzer is phase-invariant by construction — its before and
+	// after values would be identical — so it never emits before.* or
+	// delta.* keys.
 	PrefixOnly bool
-	// Run computes the extras for one trial, one value per entry of
-	// Keys. It must be safe for concurrent invocation across trials.
+	// AfterOnly marks analyzers that read the balancing outcome itself
+	// (Input.Balance); they have no meaningful value on the
+	// pre-balancing schedule and never emit before.* or delta.* keys.
+	AfterOnly bool
+	// Run computes the extras for one trial phase, one value per entry
+	// of Keys. It must be safe for concurrent invocation across trials.
 	Run func(in *Input) []float64
 }
+
+// phaseSensitive reports whether the analyzer runs over the before
+// phase (and therefore gains before.*/delta.* key siblings).
+func (a *Analyzer) phaseSensitive() bool { return !a.PrefixOnly && !a.AfterOnly }
 
 // registry holds the analyzers sorted by name — the canonical order
 // Parse normalises spec lists into. register keeps it sorted rather
@@ -68,7 +110,15 @@ type Analyzer struct {
 // renaming a file must never invalidate every existing journal.
 var registry []*Analyzer
 
+// reservedNames can never be analyzer names: "before" and "delta" are
+// the phase-axis key prefixes, "none" is the CLI sentinel for the
+// empty set.
+var reservedNames = map[string]bool{"before": true, "delta": true, "none": true}
+
 func register(a *Analyzer) {
+	if reservedNames[a.Name] {
+		panic(fmt.Sprintf("analyzers: %q is a reserved name", a.Name))
+	}
 	for _, k := range a.Keys {
 		if !strings.HasPrefix(k, a.Name+".") {
 			panic(fmt.Sprintf("analyzers: %s key %q outside its namespace", a.Name, k))
@@ -76,6 +126,9 @@ func register(a *Analyzer) {
 	}
 	if !sort.StringsAreSorted(a.Keys) {
 		panic(fmt.Sprintf("analyzers: %s keys not sorted", a.Name))
+	}
+	if a.PrefixOnly && a.AfterOnly {
+		panic(fmt.Sprintf("analyzers: %s cannot be both PrefixOnly and AfterOnly", a.Name))
 	}
 	for _, b := range registry {
 		if b.Name == a.Name {
@@ -150,8 +203,9 @@ func (s Set) Names() []string {
 	return out
 }
 
-// Keys returns the union of the set's extras keys, sorted. Namespacing
-// makes the per-analyzer key lists disjoint by construction.
+// Keys returns the union of the set's after-phase extras keys, sorted.
+// Namespacing makes the per-analyzer key lists disjoint by
+// construction.
 func (s Set) Keys() []string {
 	if len(s) == 0 {
 		return nil
@@ -159,6 +213,37 @@ func (s Set) Keys() []string {
 	var out []string
 	for _, a := range s {
 		out = append(out, a.Keys...)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// BeforeKeys returns the unprefixed keys that gain before.* and
+// delta.* siblings when the before phase is enabled: the keys of every
+// phase-sensitive analyzer (neither PrefixOnly nor AfterOnly), sorted.
+func (s Set) BeforeKeys() []string {
+	var out []string
+	for _, a := range s {
+		if a.phaseSensitive() {
+			out = append(out, a.Keys...)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// PhasedKeys returns the full extras key set the phase selection
+// produces, sorted: the after-phase keys, plus the before.* and
+// delta.* siblings of every phase-sensitive key when the before phase
+// is enabled. This is the key set journal replay and merge validate
+// rows against.
+func (s Set) PhasedKeys(phases PhaseSet) []string {
+	out := s.Keys()
+	if !phases.ContainsBefore() {
+		return out
+	}
+	for _, k := range s.BeforeKeys() {
+		out = append(out, BeforePrefix+k, DeltaPrefix+k)
 	}
 	sort.Strings(out)
 	return out
@@ -175,24 +260,43 @@ func (s Set) NeedsCandidates() bool {
 	return false
 }
 
-// Run executes every analyzer of the set over one trial and returns the
-// merged extras payload, or nil for the empty set.
-func (s Set) Run(in *Input) map[string]float64 {
-	return s.RunSuffix(in, s.RunPrefix(in))
+// Run executes every analyzer of the set over one trial (after phase
+// only) and returns the merged extras payload, or nil for the empty
+// set.
+func (s Set) Run(in *Input) (map[string]float64, error) {
+	pre, err := s.RunPrefix(in)
+	if err != nil {
+		return nil, err
+	}
+	return s.RunSuffix(in, pre, DefaultPhases())
 }
 
 // RunPrefix executes only the PrefixOnly analyzers — Input needs just
 // TS, Procs, and Comm. The campaign engine calls it once per memoised
 // prefix, so the policy cells sharing a grid point share one screen.
-func (s Set) RunPrefix(in *Input) map[string]float64 {
-	return s.runMatching(in, true, nil)
+func (s Set) RunPrefix(in *Input) (map[string]float64, error) {
+	return s.runMatching(in, func(a *Analyzer) bool { return a.PrefixOnly }, "", nil)
 }
 
-// RunSuffix executes the policy-dependent analyzers and merges the
-// precomputed prefix extras into the result. The prefix map is copied,
-// never retained or mutated — memoised prefixes hand the same map to
-// many concurrent trials.
-func (s Set) RunSuffix(in *Input, prefix map[string]float64) map[string]float64 {
+// RunBefore executes the phase-sensitive analyzers over the
+// pre-balancing schedule (Input.Sched/Rep must be the initial schedule
+// and its simulation), writing each value under its "before."-prefixed
+// key into out (allocated on first need, so the empty set stays nil).
+// Like RunPrefix it reads nothing policy-dependent: the campaign
+// engine calls it once per memoised prefix and shares the map across
+// the policy cells of a grid point.
+func (s Set) RunBefore(in *Input, out map[string]float64) (map[string]float64, error) {
+	return s.runMatching(in, (*Analyzer).phaseSensitive, BeforePrefix, out)
+}
+
+// RunSuffix executes the policy-dependent after-phase analyzers and
+// merges the precomputed prefix extras (prefix-only values plus, with
+// the before phase on, the before.* values) into the result. When the
+// phase set enables the before phase, the delta.* keys are computed
+// here as after − before. The prefix map is copied, never retained or
+// mutated — memoised prefixes hand the same map to many concurrent
+// trials.
+func (s Set) RunSuffix(in *Input, prefix map[string]float64, phases PhaseSet) (map[string]float64, error) {
 	var out map[string]float64
 	if len(prefix) > 0 {
 		out = make(map[string]float64, len(prefix))
@@ -200,14 +304,41 @@ func (s Set) RunSuffix(in *Input, prefix map[string]float64) map[string]float64 
 			out[k] = v
 		}
 	}
-	return s.runMatching(in, false, out)
+	out, err := s.runMatching(in, func(a *Analyzer) bool { return !a.PrefixOnly }, "", out)
+	if err != nil {
+		return nil, err
+	}
+	if phases.ContainsBefore() {
+		// Walk the analyzers' fixed key lists directly rather than
+		// materialising BeforeKeys(): this runs once per accepted trial,
+		// and the sorted union would be an allocation+sort repeated
+		// thousands of times per sweep for no behavioural difference
+		// (map insertion order is irrelevant).
+		for _, a := range s {
+			if !a.phaseSensitive() {
+				continue
+			}
+			for _, k := range a.Keys {
+				d := out[k] - out[BeforePrefix+k]
+				if math.IsNaN(d) || math.IsInf(d, 0) {
+					return nil, fmt.Errorf("analyzers: delta of %q is %v (before %v, after %v) — non-finite extras cannot be encoded into the JSON artifact",
+						k, d, out[BeforePrefix+k], out[k])
+				}
+				out[DeltaPrefix+k] = d
+			}
+		}
+	}
+	return out, nil
 }
 
-// runMatching runs the analyzers with the given PrefixOnly flavour into
-// out (allocated on first need, so the empty set stays nil).
-func (s Set) runMatching(in *Input, prefixOnly bool, out map[string]float64) map[string]float64 {
+// runMatching runs the analyzers selected by match into out (allocated
+// on first need, so the empty set stays nil), prefixing every key with
+// keyPrefix. Each value is validated finite at this boundary: a NaN or
+// ±Inf extra would otherwise survive the whole sweep and only explode
+// when encoding/json refuses it at artifact-write time.
+func (s Set) runMatching(in *Input, match func(*Analyzer) bool, keyPrefix string, out map[string]float64) (map[string]float64, error) {
 	for _, a := range s {
-		if a.PrefixOnly != prefixOnly {
+		if !match(a) {
 			continue
 		}
 		vals := a.Run(in)
@@ -218,8 +349,11 @@ func (s Set) runMatching(in *Input, prefixOnly bool, out map[string]float64) map
 			out = make(map[string]float64)
 		}
 		for i, k := range a.Keys {
-			out[k] = vals[i]
+			if v := vals[i]; math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("analyzers: %s emitted %v for %q — non-finite extras cannot be encoded into the JSON artifact", a.Name, v, keyPrefix+k)
+			}
+			out[keyPrefix+k] = vals[i]
 		}
 	}
-	return out
+	return out, nil
 }

@@ -39,7 +39,43 @@ func pipelineInput(t *testing.T, recordCandidates bool) *Input {
 	if err != nil {
 		t.Fatal(err)
 	}
-	return &Input{TS: ts, Procs: ar.Procs, Comm: ar.CommTime, Balance: res, Before: before, After: after}
+	return &Input{
+		TS: ts, Procs: ar.Procs, Comm: ar.CommTime,
+		Sched: res.Schedule, Rep: after,
+		Balance: res, Before: before, After: after,
+	}
+}
+
+// beforeInput rebuilds the before-phase view of the same trial: the
+// initial schedule and its simulation, no balancing outcome.
+func beforeInput(t *testing.T) *Input {
+	t.Helper()
+	ts, err := gen.Generate(gen.Config{Seed: 3, Tasks: 12, Utilization: 1.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ar := arch.MustNew(3, 1)
+	s, err := sched.NewScheduler(ts, ar).Run()
+	if err != nil {
+		t.Fatal(err)
+	}
+	is := sched.FromSchedule(s)
+	before, err := (&sim.Runner{}).Run(is)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return &Input{TS: ts, Procs: ar.Procs, Comm: ar.CommTime, Sched: is, Rep: before, Before: before}
+}
+
+// mustRun is set.Run with the error path fatal — the helper every
+// valid-analyzer test goes through.
+func mustRun(t *testing.T, s Set, in *Input) map[string]float64 {
+	t.Helper()
+	extras, err := s.Run(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return extras
 }
 
 // TestRegistryInvariants pins the registry contract every analyzer must
@@ -76,9 +112,16 @@ func TestRegistryInvariants(t *testing.T) {
 			seen[k] = n
 		}
 	}
-	for _, want := range []string{"schedulability", "moves", "contention"} {
+	for _, want := range []string{"schedulability", "moves", "contention", "reuse"} {
 		if _, ok := Get(want); !ok {
 			t.Fatalf("analyzer %q not registered", want)
+		}
+	}
+	// The phase-axis namespaces and the CLI sentinel can never be
+	// claimed as analyzer names.
+	for name := range reservedNames {
+		if _, ok := Get(name); ok {
+			t.Fatalf("reserved name %q is registered", name)
 		}
 	}
 }
@@ -130,7 +173,7 @@ func TestAnalyzersRunOnRealTrial(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	extras := set.Run(in)
+	extras := mustRun(t, set, in)
 	if len(extras) != len(set.Keys()) {
 		t.Fatalf("extras carry %d keys, set declares %d", len(extras), len(set.Keys()))
 	}
@@ -140,7 +183,7 @@ func TestAnalyzersRunOnRealTrial(t *testing.T) {
 		}
 	}
 	// Deterministic across repeated runs on the same input.
-	if again := set.Run(in); !reflect.DeepEqual(extras, again) {
+	if again := mustRun(t, set, in); !reflect.DeepEqual(extras, again) {
 		t.Fatalf("analyzer output not deterministic:\n%v\n%v", extras, again)
 	}
 
@@ -194,7 +237,7 @@ func TestMovesWithoutCandidates(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	extras := set.Run(in)
+	extras := mustRun(t, set, in)
 	if extras["moves.cand_evals"] != 0 || extras["moves.cand_feasible_ratio"] != 0 {
 		t.Fatalf("candidate counters non-zero without recording: %v", extras)
 	}

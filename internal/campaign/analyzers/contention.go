@@ -2,13 +2,18 @@ package analyzers
 
 import "repro/internal/sched"
 
-// The contention analyzer reads the balanced schedule's per-processor
-// occupancy over the makespan window (sched.Occupancy): how evenly the
-// busy time spreads across processors and how the idle time fragments
-// into windows. The paper's §1 motivation is exactly this quantity
-// ("over 65% of processors are idle at any given time"); the analyzer
-// shows how much of that idleness the balancing removed and where the
+// The contention analyzer reads a schedule's per-processor occupancy
+// over the makespan window (sched.Occupancy): how evenly the busy time
+// spreads across processors and how the idle time fragments into
+// windows. The paper's §1 motivation is exactly this quantity ("over
+// 65% of processors are idle at any given time"); the analyzer shows
+// how much of that idleness the balancing removed and where the
 // residual contention sits.
+//
+// It is phase-sensitive: it reads only Input.Sched, so with the before
+// phase enabled it instruments the initial schedule too, and the
+// delta.contention.* keys show the idleness balancing removed per
+// trial instead of leaving it to be inferred across columns.
 
 func init() {
 	register(&Analyzer{
@@ -26,8 +31,8 @@ func init() {
 }
 
 func runContention(in *Input) []float64 {
-	horizon := in.Balance.Schedule.Makespan()
-	occ := sched.Occupancy(in.Balance.Schedule, horizon)
+	horizon := in.Sched.Makespan()
+	occ := sched.Occupancy(in.Sched, horizon)
 	if horizon <= 0 || len(occ) == 0 {
 		return make([]float64, 6)
 	}

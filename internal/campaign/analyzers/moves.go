@@ -6,11 +6,15 @@ package analyzers
 // on — how selective the per-processor evaluation was. This is the
 // instrument that distinguishes a policy that wins by a few large moves
 // from one that wins by many small ones.
+//
+// It reads the balancing outcome itself (AfterOnly): there is no move
+// trace before balancing, so it never emits before.* or delta.* keys.
 
 func init() {
 	register(&Analyzer{
 		Name:            "moves",
 		NeedsCandidates: true,
+		AfterOnly:       true,
 		// The trial's move/forced/relaxed-LCM totals are already headline
 		// metrics (`moves`, `forced`, `relaxed_lcm`); only the genuinely
 		// new trace quantities are published here.

@@ -1,0 +1,99 @@
+package analyzers
+
+import (
+	"fmt"
+	"strings"
+)
+
+// phases.go defines the before/after phase axis of the analyzer
+// subsystem. The paper's central claim is that balancing *improves* a
+// schedule; instrumenting only the balanced state can never show the
+// improvement itself. With the before phase enabled, every
+// phase-sensitive analyzer also runs over the pre-balancing schedule,
+// and the trial's extras grow two sibling namespaces per analyzer key:
+//
+//	<ns>.<key>         the balanced (after) schedule — the existing keys
+//	before.<ns>.<key>  the same instrument over the initial schedule
+//	delta.<ns>.<key>   after − before, what balancing bought
+//
+// Two analyzer classes opt out of the before phase by construction:
+// PrefixOnly analyzers read nothing schedule-dependent (their before
+// and after values would be identical), and AfterOnly analyzers read
+// the balancing outcome itself (there is no before value to take).
+// Neither emits before.* or delta.* keys.
+
+// Phase names. The canonical phase-set order is pipeline order
+// (before, after), not lexical — "what runs first" reads naturally in
+// specs, flags, and error messages.
+const (
+	PhaseBefore = "before"
+	PhaseAfter  = "after"
+)
+
+// BeforePrefix and DeltaPrefix are the namespaces the before phase
+// adds. They can never collide with analyzer namespaces: "before" and
+// "delta" are reserved analyzer names (register panics on them).
+const (
+	BeforePrefix = "before."
+	DeltaPrefix  = "delta."
+)
+
+// PhaseSet is a validated, canonical phase selection. Exactly two sets
+// are expressible: {after} (the zero-cost default, ContainsBefore
+// false) and {before, after}. The after phase is mandatory — it holds
+// the unprefixed keys every artifact consumer reads, and a before-only
+// sweep could not compute deltas.
+type PhaseSet struct {
+	before bool
+}
+
+// DefaultPhases is the after-only set every spec gets when it names no
+// phases.
+func DefaultPhases() PhaseSet { return PhaseSet{} }
+
+// ParsePhases resolves a phase-name list into a PhaseSet, rejecting
+// unknown names, duplicates, and sets without the mandatory after
+// phase. The nil/empty list is the default (after-only) set, and the
+// input order never matters.
+func ParsePhases(names []string) (PhaseSet, error) {
+	if len(names) == 0 {
+		return DefaultPhases(), nil
+	}
+	var before, after bool
+	for _, n := range names {
+		switch n {
+		case PhaseBefore:
+			if before {
+				return PhaseSet{}, fmt.Errorf("analyzers: phase %q named twice", n)
+			}
+			before = true
+		case PhaseAfter:
+			if after {
+				return PhaseSet{}, fmt.Errorf("analyzers: phase %q named twice", n)
+			}
+			after = true
+		default:
+			return PhaseSet{}, fmt.Errorf("analyzers: unknown phase %q (want %s|%s)", n, PhaseBefore, PhaseAfter)
+		}
+	}
+	if !after {
+		return PhaseSet{}, fmt.Errorf("analyzers: phase set %s lacks the mandatory %q phase (artifacts always carry the balanced schedule's extras)",
+			strings.Join(names, ","), PhaseAfter)
+	}
+	return PhaseSet{before: before}, nil
+}
+
+// ContainsBefore reports whether the before phase is enabled.
+func (p PhaseSet) ContainsBefore() bool { return p.before }
+
+// Names returns the canonical name list: ["after"] or
+// ["before","after"].
+func (p PhaseSet) Names() []string {
+	if p.before {
+		return []string{PhaseBefore, PhaseAfter}
+	}
+	return []string{PhaseAfter}
+}
+
+// String renders the set for flags and error messages.
+func (p PhaseSet) String() string { return strings.Join(p.Names(), ",") }

@@ -1,0 +1,224 @@
+package analyzers
+
+import (
+	"math"
+	"reflect"
+	"strings"
+	"testing"
+
+	"repro/internal/sim"
+)
+
+// TestParsePhases covers validation and canonicalisation of phase
+// lists: the two expressible sets, order-insensitivity, and the
+// targeted rejections.
+func TestParsePhases(t *testing.T) {
+	def, err := ParsePhases(nil)
+	if err != nil || def.ContainsBefore() {
+		t.Fatalf("empty list: %v %v", def, err)
+	}
+	if got := def.Names(); !reflect.DeepEqual(got, []string{"after"}) {
+		t.Fatalf("default names %v", got)
+	}
+
+	both, err := ParsePhases([]string{"after", "before"})
+	if err != nil || !both.ContainsBefore() {
+		t.Fatalf("before,after: %v %v", both, err)
+	}
+	// Canonical order is pipeline order regardless of input order.
+	if got := both.Names(); !reflect.DeepEqual(got, []string{"before", "after"}) {
+		t.Fatalf("canonical names %v", got)
+	}
+	if both.String() != "before,after" {
+		t.Fatalf("String = %q", both.String())
+	}
+
+	if _, err := ParsePhases([]string{"during"}); err == nil || !strings.Contains(err.Error(), "unknown phase") {
+		t.Fatalf("unknown phase: %v", err)
+	}
+	if _, err := ParsePhases([]string{"after", "after"}); err == nil || !strings.Contains(err.Error(), "named twice") {
+		t.Fatalf("duplicate phase: %v", err)
+	}
+	if _, err := ParsePhases([]string{"before"}); err == nil || !strings.Contains(err.Error(), "mandatory") {
+		t.Fatalf("before-only set: %v", err)
+	}
+}
+
+// TestPhasedKeys: the before phase adds before.*/delta.* siblings for
+// exactly the phase-sensitive analyzers — not for PrefixOnly ones
+// (phase-invariant by construction) nor AfterOnly ones (no before
+// value exists).
+func TestPhasedKeys(t *testing.T) {
+	set, err := Parse(Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	afterOnly := set.PhasedKeys(DefaultPhases())
+	if !reflect.DeepEqual(afterOnly, set.Keys()) {
+		t.Fatalf("after-only phased keys %v differ from Keys %v", afterOnly, set.Keys())
+	}
+
+	both, err := ParsePhases([]string{"before", "after"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	phased := set.PhasedKeys(both)
+	want := len(set.Keys()) + 2*len(set.BeforeKeys())
+	if len(phased) != want {
+		t.Fatalf("phased key count %d, want %d", len(phased), want)
+	}
+	have := map[string]bool{}
+	for _, k := range phased {
+		have[k] = true
+	}
+	for _, k := range set.BeforeKeys() {
+		if !have[BeforePrefix+k] || !have[DeltaPrefix+k] {
+			t.Fatalf("phase-sensitive key %q lacks before/delta siblings", k)
+		}
+	}
+	// The phase-capability split is part of the public schema: pin it.
+	for name, sensitive := range map[string]bool{
+		"contention":     true,
+		"reuse":          true,
+		"moves":          false, // AfterOnly: reads the balancing trace
+		"schedulability": false, // PrefixOnly: phase-invariant
+	} {
+		a, ok := Get(name)
+		if !ok {
+			t.Fatalf("analyzer %q not registered", name)
+		}
+		for _, k := range a.Keys {
+			if have[BeforePrefix+k] != sensitive {
+				t.Fatalf("%s: before-sibling presence for %q = %v, want %v", name, k, have[BeforePrefix+k], sensitive)
+			}
+		}
+	}
+}
+
+// TestRunBeforePhase runs the phase-sensitive analyzers over a real
+// pre-balancing schedule and checks the keys land under before.* with
+// plausible values.
+func TestRunBeforePhase(t *testing.T) {
+	set, err := Parse(Names())
+	if err != nil {
+		t.Fatal(err)
+	}
+	in := beforeInput(t)
+	extras, err := set.RunBefore(in, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(extras) != len(set.BeforeKeys()) {
+		t.Fatalf("before extras carry %d keys, want %d", len(extras), len(set.BeforeKeys()))
+	}
+	for _, k := range set.BeforeKeys() {
+		if _, ok := extras[BeforePrefix+k]; !ok {
+			t.Fatalf("before extras missing %q", BeforePrefix+k)
+		}
+	}
+	if v := extras["before.contention.busy_mean"]; v <= 0 || v > 1 {
+		t.Fatalf("before busy_mean %v outside (0,1]", v)
+	}
+	// On the initial schedule the reuse accounting is defined and the
+	// reuse peak can never exceed the paper peak.
+	if extras["before.reuse.savings_defined"] != 1 {
+		t.Fatalf("reuse accounting undefined on a real schedule: %v", extras)
+	}
+	if extras["before.reuse.reuse_total"] > extras["before.reuse.paper_total"] {
+		t.Fatalf("reuse accounting above paper accounting: %v", extras)
+	}
+}
+
+// TestReuseAnalyzerMatchesSim: the reuse analyzer is a straight
+// projection of sim.MinMemoryWithReuse on the phase's schedule.
+func TestReuseAnalyzerMatchesSim(t *testing.T) {
+	in := pipelineInput(t, false)
+	set, err := Parse([]string{"reuse"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	extras := mustRun(t, set, in)
+	rep := sim.MinMemoryWithReuse(in.Sched)
+	var paperTotal, reuseTotal float64
+	for i := range rep.Paper {
+		paperTotal += float64(rep.Paper[i])
+		reuseTotal += float64(rep.Reuse[i])
+	}
+	if extras["reuse.paper_total"] != paperTotal || extras["reuse.reuse_total"] != reuseTotal {
+		t.Fatalf("totals %v do not match sim report (paper %v, reuse %v)", extras, paperTotal, reuseTotal)
+	}
+	savings, ok := rep.SavingsOK()
+	if !ok || extras["reuse.savings"] != savings || extras["reuse.savings_defined"] != 1 {
+		t.Fatalf("savings %v does not match sim report (%v, %v)", extras, savings, ok)
+	}
+}
+
+// TestNonFiniteExtrasRefused is the Analyze-boundary validation pin: a
+// NaN or ±Inf value is refused the moment the analyzer emits it, with
+// the analyzer and key in the error — not hours later when
+// encoding/json refuses the finished artifact.
+func TestNonFiniteExtrasRefused(t *testing.T) {
+	in := pipelineInput(t, false)
+	for _, tc := range []struct {
+		name string
+		val  float64
+	}{
+		{"nan", math.NaN()},
+		{"+inf", math.Inf(1)},
+		{"-inf", math.Inf(-1)},
+	} {
+		bad := Set{&Analyzer{
+			Name: "badcase",
+			Keys: []string{"badcase.poison"},
+			Run:  func(*Input) []float64 { return []float64{tc.val} },
+		}}
+		_, err := bad.Run(in)
+		if err == nil {
+			t.Fatalf("%s: non-finite extra accepted", tc.name)
+		}
+		for _, want := range []string{"badcase", `"badcase.poison"`, "non-finite"} {
+			if !strings.Contains(err.Error(), want) {
+				t.Fatalf("%s: error %q does not name %q", tc.name, err, want)
+			}
+		}
+
+		// The before phase names the prefixed key.
+		badBefore := Set{&Analyzer{
+			Name: "badcase",
+			Keys: []string{"badcase.poison"},
+			Run:  func(*Input) []float64 { return []float64{tc.val} },
+		}}
+		_, err = badBefore.RunBefore(beforeInput(t), nil)
+		if err == nil || !strings.Contains(err.Error(), `"before.badcase.poison"`) {
+			t.Fatalf("%s: before-phase error %v does not name the prefixed key", tc.name, err)
+		}
+	}
+
+	// A finite-before/finite-after pair can still make a non-finite
+	// delta (overflow); the delta pass validates too.
+	huge := Set{&Analyzer{
+		Name: "badcase",
+		Keys: []string{"badcase.huge"},
+		Run:  func(in *Input) []float64 { return []float64{math.MaxFloat64 * sign(in)} },
+	}}
+	phases, err := ParsePhases([]string{"before", "after"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pre, err := huge.RunBefore(beforeInput(t), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := huge.RunSuffix(in, pre, phases); err == nil || !strings.Contains(err.Error(), "delta") {
+		t.Fatalf("overflowing delta accepted: %v", err)
+	}
+}
+
+// sign distinguishes the two phases of the huge-delta case by the
+// fields only the after phase sets.
+func sign(in *Input) float64 {
+	if in.Balance != nil {
+		return 1
+	}
+	return -1
+}

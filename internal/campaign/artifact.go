@@ -91,6 +91,9 @@ func (r *Result) Table() string {
 	}
 	if len(r.Spec.Analyzers) > 0 {
 		fmt.Fprintf(&b, ", analyzers %s", strings.Join(r.Spec.Analyzers, ","))
+		if len(r.Spec.AnalyzerPhases) > 1 {
+			fmt.Fprintf(&b, " (phases %s)", strings.Join(r.Spec.AnalyzerPhases, ","))
+		}
 	}
 	b.WriteString("\n")
 	fmt.Fprintf(&b, "%-36s %7s %8s %8s %12s %12s %8s\n",

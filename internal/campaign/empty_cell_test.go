@@ -1,0 +1,129 @@
+package campaign
+
+import (
+	"bytes"
+	"encoding/csv"
+	"strings"
+	"testing"
+)
+
+// emptyCellSpec mixes one cell that accepts trials (3 processors) with
+// one whose every trial is unschedulable (utilisation 6 on 2
+// processors), so the aggregates carry a cell with zero accepted
+// trials.
+func emptyCellSpec() *Spec {
+	return &Spec{
+		Name:        "empty-cell",
+		Seeds:       4,
+		Tasks:       []int{12},
+		Utilization: []float64{6},
+		Procs:       []int{2, 8},
+		Analyzers:   []string{"contention", "reuse"},
+		AnalyzerPhases: []string{
+			"before", "after",
+		},
+	}
+}
+
+// TestStatsEmptyInput pins the primitive layer of the empty-cell path:
+// an aggregator that observed nothing finalises to the zero Stats, and
+// percentile of an empty slice is 0 — no index panic, no NaN.
+func TestStatsEmptyInput(t *testing.T) {
+	if s := (&Agg{}).Finalize(); s != (Stats{}) {
+		t.Fatalf("empty aggregator finalises to %+v, want zero Stats", s)
+	}
+	for _, q := range []float64{0, 0.5, 0.99, 1} {
+		if v := percentile(nil, q); v != 0 {
+			t.Fatalf("percentile(nil, %v) = %v, want 0", q, v)
+		}
+	}
+	if v := percentile([]float64{}, 0.5); v != 0 {
+		t.Fatalf("percentile(empty, 0.5) = %v, want 0", v)
+	}
+}
+
+// TestEmptyCellArtifacts is the regression pin for a cell with zero
+// accepted trials: the behaviour is *omission with an explicit flag* —
+// the cell keeps its acceptance row (accepted = 0 is the flag, visible
+// in both artifacts) and emits no metric rows at all, rather than rows
+// of NaN/zero that would read as measurements. JSON and CSV both stay
+// well-formed.
+func TestEmptyCellArtifacts(t *testing.T) {
+	res, err := (&Engine{Workers: 4}).Run(emptyCellSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	var empty, full *CellAggregate
+	for i := range res.Cells {
+		switch {
+		case strings.Contains(res.Cells[i].Cell, "M=2"):
+			empty = &res.Cells[i]
+		case strings.Contains(res.Cells[i].Cell, "M=8"):
+			full = &res.Cells[i]
+		}
+	}
+	if empty == nil || full == nil {
+		t.Fatalf("cells missing from %v", res.Cells)
+	}
+	if empty.Accepted != 0 || empty.AcceptRatio != 0 {
+		t.Skipf("M=2 cell accepted %d trials — spec no longer produces an empty cell", empty.Accepted)
+	}
+	if full.Accepted == 0 {
+		t.Fatal("M=8 cell accepted nothing; the test needs one populated cell for contrast")
+	}
+	if len(empty.Metrics) != 0 {
+		t.Fatalf("empty cell carries %d metric entries, want none (omission is the pinned behaviour)", len(empty.Metrics))
+	}
+
+	// JSON: marshals cleanly (encoding/json rejects NaN/Inf outright,
+	// so success is the no-NaN proof) and the cell is present with its
+	// explicit zero-acceptance flag.
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatalf("JSON artifact failed on an empty cell: %v", err)
+	}
+	if !bytes.Contains(data, []byte(`"accepted": 0`)) {
+		t.Fatal("JSON artifact lacks the empty cell's accepted:0 flag")
+	}
+
+	// CSV: rectangular, and the empty cell contributes exactly its
+	// acceptance row — count column = trials, mean column = 0 ratio.
+	var buf bytes.Buffer
+	if err := res.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	rows, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatalf("CSV artifact unparseable: %v", err)
+	}
+	cellRows := 0
+	for _, row := range rows[1:] {
+		if len(row) != len(rows[0]) {
+			t.Fatalf("ragged CSV row %v", row)
+		}
+		if row[0] != empty.Cell {
+			continue
+		}
+		cellRows++
+		if row[1] != "accept_ratio" {
+			t.Fatalf("empty cell emitted metric row %v, want only accept_ratio", row)
+		}
+		if row[2] != "4" || row[3] != "0" {
+			t.Fatalf("empty cell acceptance row %v, want count=4 mean=0", row)
+		}
+	}
+	if cellRows != 1 {
+		t.Fatalf("empty cell contributed %d CSV rows, want exactly its acceptance row", cellRows)
+	}
+	for _, cell := range []string{"NaN", "Inf"} {
+		if bytes.Contains(buf.Bytes(), []byte(cell)) {
+			t.Fatalf("CSV artifact contains %s", cell)
+		}
+	}
+
+	// The human-readable table tolerates the empty cell too (it reads
+	// zero Stats for every headline metric).
+	if tbl := res.Table(); !strings.Contains(tbl, empty.Cell) {
+		t.Fatalf("table omits the empty cell:\n%s", tbl)
+	}
+}

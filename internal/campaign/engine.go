@@ -65,8 +65,10 @@ type TrialResult struct {
 
 	// Extras is the namespaced analyzer payload of an accepted trial
 	// (see internal/campaign/analyzers): one entry per key of every
-	// analyzer named by the spec, nil when the spec names none or the
-	// trial was rejected. Keys carry their analyzer's namespace
+	// analyzer named by the spec — and, when the spec enables the
+	// before phase, the before.<ns>.* and delta.<ns>.* siblings of
+	// every phase-sensitive key — nil when the spec names no analyzers
+	// or the trial was rejected. Keys carry their analyzer's namespace
 	// ("schedulability.util_margin"), so they never collide with the
 	// headline metric names, and the whole map folds through the same
 	// ordered aggregators into the artifacts.
@@ -167,7 +169,11 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	expectedExtras := set.Keys()
+	phases, err := spec.PhaseSet()
+	if err != nil {
+		return nil, err
+	}
+	expectedExtras := set.PhasedKeys(phases)
 
 	// Seat the replayed rows and work out what is still pending.
 	results := make([]TrialResult, len(shard))
@@ -209,35 +215,48 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	}
 
 	var (
-		aborted  atomic.Bool
-		sinkOnce sync.Once
-		sinkErr  error
+		aborted atomic.Bool
+		errOnce sync.Once
+		runErr  error
 	)
+	// fail records the first error and stops further trials from being
+	// claimed; the errors name the trial, not the Map fan-out index —
+	// with Done replay rows the two disagree, and the trial index is
+	// what -resume diagnostics need.
+	fail := func(err error) {
+		errOnce.Do(func() { runErr = err })
+		aborted.Store(true)
+	}
 	start := time.Now()
 	live := Map(len(pending), workers, func(i int) TrialResult {
 		if aborted.Load() {
 			return TrialResult{Index: -1}
 		}
 		var r TrialResult
+		var err error
 		if cache != nil {
-			r = cache.runTrial(pending[i])
+			r, err = cache.runTrial(pending[i])
 		} else {
-			r = RunTrial(pending[i])
+			r, err = RunTrial(pending[i])
+		}
+		if err != nil {
+			// An analyzer produced an invalid (non-finite) extra: abort
+			// the sweep now, while the message can still name the trial,
+			// instead of letting the value poison the artifact encoding
+			// after every other trial has run.
+			fail(fmt.Errorf("trial %d: %w", pending[i].Index, err))
+			return TrialResult{Index: -1}
 		}
 		coll.observe(r)
 		if e.Sink != nil {
 			if err := e.Sink(r); err != nil {
-				// Name the trial, not the Map fan-out index: with Done
-				// replay rows the two disagree, and the trial index is
-				// what -resume diagnostics need.
-				sinkOnce.Do(func() { sinkErr = fmt.Errorf("trial %d: %w", r.Index, err) })
-				aborted.Store(true)
+				fail(fmt.Errorf("sink: trial %d: %w", r.Index, err))
 			}
 		}
 		return r
 	})
-	if sinkErr != nil {
-		return nil, fmt.Errorf("campaign: sink: %w", sinkErr)
+	if runErr != nil {
+		return nil, fmt.Errorf("campaign: %w", runErr)
 	}
 	for _, r := range live {
 		results[r.Index-lo] = r
@@ -268,11 +287,12 @@ func matchTrial(trials []Trial, lo, hi int, r TrialResult) error {
 }
 
 // matchExtras checks that a replayed row's extras payload is exactly
-// what the spec's analyzer set would have produced: every expected key
-// present on an accepted row, nothing on a rejected one, and no strays
-// either way. A mismatch means the row was produced under a different
-// analyzer set (or tampered with) — folding it would publish artifacts
-// whose extras columns silently cover only part of the sweep.
+// what the spec's analyzer and phase sets would have produced: every
+// expected key present on an accepted row, nothing on a rejected one,
+// and no strays either way. A mismatch means the row was produced
+// under a different analyzer set or phase set (or tampered with) —
+// folding it would publish artifacts whose extras columns silently
+// cover only part of the sweep.
 func matchExtras(expected []string, r TrialResult) error {
 	if r.Outcome != OutcomeOK {
 		if len(r.Extras) != 0 {
@@ -282,32 +302,39 @@ func matchExtras(expected []string, r TrialResult) error {
 	}
 	for _, k := range expected {
 		if _, ok := r.Extras[k]; !ok {
-			return fmt.Errorf("campaign: completed row %d is missing extra %q — journaled under a different analyzer set?", r.Index, k)
+			return fmt.Errorf("campaign: completed row %d is missing extra %q — journaled under a different analyzer set or phase set?", r.Index, k)
 		}
 	}
 	if len(r.Extras) != len(expected) {
-		return fmt.Errorf("campaign: completed row %d carries %d extras, the spec's analyzers produce %d — journaled under a different analyzer set?",
+		return fmt.Errorf("campaign: completed row %d carries %d extras, the spec's analyzers produce %d — journaled under a different analyzer set or phase set?",
 			r.Index, len(r.Extras), len(expected))
 	}
 	return nil
 }
 
 // trialPrefix is the policy-independent front of the pipeline: the
-// generated system scheduled by the greedy substrate and simulated once,
-// plus the extras of the prefix-only analyzers (computed here so the
-// policy cells sharing a memoised prefix share one screen). A nil
-// schedule carries the failure outcome instead.
+// generated system scheduled by the greedy substrate and simulated
+// once, plus the policy-independent extras — the prefix-only analyzer
+// values and, with the before phase enabled, the before.* values of
+// the phase-sensitive analyzers over the initial schedule (computed
+// here so the policy cells sharing a memoised prefix share one screen
+// and one before-phase pass). A nil schedule carries the failure
+// outcome instead; err carries an analyzer validation failure, which
+// aborts the sweep rather than rejecting the trial.
 type trialPrefix struct {
 	is        *sched.InstSchedule
 	repBefore *sim.Report
 	preExtras map[string]float64 // read-only once published
 	outcome   string             // "" when the prefix succeeded
+	err       error              // non-finite analyzer extra in the prefix phases
 }
 
 // runPrefix computes generate → schedule → simulate(before) for one
-// trial. Nothing in it depends on t.Policy (or the ignore-timing mode,
-// which only reaches the balancer), which is what makes the result
-// shareable across policy cells.
+// trial, plus the prefix-only and before-phase analyzer extras.
+// Nothing in it depends on t.Policy (or the ignore-timing mode, which
+// only reaches the balancer), which is what makes the result shareable
+// across policy cells — the before phase instruments the initial
+// schedule, which every policy cell of a grid point shares.
 func runPrefix(t Trial) trialPrefix {
 	ts, err := gen.Generate(t.Gen)
 	if err != nil {
@@ -330,15 +357,32 @@ func runPrefix(t Trial) trialPrefix {
 	// Materialise the per-processor listings now so every clone inherits
 	// them instead of re-deriving its own.
 	is.InstancesOn(0)
-	pre := t.analyzers.RunPrefix(&analyzers.Input{TS: ts, Procs: ar.Procs, Comm: t.Comm})
+	pre, err := t.analyzers.RunPrefix(&analyzers.Input{TS: ts, Procs: ar.Procs, Comm: t.Comm})
+	if err != nil {
+		return trialPrefix{err: err}
+	}
+	if t.phases.ContainsBefore() {
+		pre, err = t.analyzers.RunBefore(&analyzers.Input{
+			TS:    ts,
+			Procs: ar.Procs,
+			Comm:  t.Comm,
+
+			Sched:  is,
+			Rep:    repBefore,
+			Before: repBefore,
+		}, pre)
+		if err != nil {
+			return trialPrefix{err: err}
+		}
+	}
 	return trialPrefix{is: is, repBefore: repBefore, preExtras: pre}
 }
 
 // finishTrial runs the policy-specific suffix (balance → simulate(after)
-// → analyze) on a private schedule. preExtras carries the prefix-only
-// analyzer values (shared read-only across the policy cells of a
-// memoised prefix).
-func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtras map[string]float64) TrialResult {
+// → analyze) on a private schedule. preExtras carries the
+// policy-independent analyzer values — prefix-only and before-phase —
+// shared read-only across the policy cells of a memoised prefix.
+func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtras map[string]float64) (TrialResult, error) {
 	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
 
 	// Candidate recording costs allocations on the balancer's innermost
@@ -348,13 +392,13 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtr
 	res, err := bal.Run(is)
 	if err != nil {
 		r.Outcome = OutcomeBalanceError
-		return r
+		return r, nil
 	}
 
 	repAfter, err := (&sim.Runner{}).Run(res.Schedule)
 	if err != nil {
 		r.Outcome = OutcomeSimError
-		return r
+		return r, nil
 	}
 	reuse := sim.MinMemoryWithReuse(res.Schedule)
 
@@ -381,25 +425,36 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtr
 	r.Blocks = len(res.Blocks)
 	r.Forced = res.Forced
 	r.RelaxedLCM = res.RelaxedLCM
-	r.Extras = t.analyzers.RunSuffix(&analyzers.Input{
+	r.Extras, err = t.analyzers.RunSuffix(&analyzers.Input{
 		TS:    is.TS,
 		Procs: is.Arch.Procs,
 		Comm:  t.Comm,
 
+		Sched: res.Schedule,
+		Rep:   repAfter,
+
 		Balance: res,
 		Before:  repBefore,
 		After:   repAfter,
-	}, preExtras)
-	return r
+	}, preExtras, t.phases)
+	if err != nil {
+		return TrialResult{}, err
+	}
+	return r, nil
 }
 
 // RunTrial executes the full pipeline for one trial, with no
 // memoisation. It touches no state outside the trial, so any number of
-// calls may run concurrently.
-func RunTrial(t Trial) TrialResult {
+// calls may run concurrently. A non-nil error means an analyzer
+// produced an invalid extra (the sweep should abort), never a rejected
+// trial — rejections are outcomes on the result.
+func RunTrial(t Trial) (TrialResult, error) {
 	pre := runPrefix(t)
+	if pre.err != nil {
+		return TrialResult{}, pre.err
+	}
 	if pre.outcome != "" {
-		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
+		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}, nil
 	}
 	return finishTrial(t, pre.is, pre.repBefore, pre.preExtras)
 }

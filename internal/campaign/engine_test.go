@@ -156,8 +156,8 @@ func TestRunTrialOutcomes(t *testing.T) {
 		Gen:   gen.Config{Seed: 1, Tasks: 5, Utilization: 1, Periods: []model.Time{10, 15}},
 		Procs: 2, Comm: 1,
 	}
-	if r := RunTrial(bad); r.Outcome != OutcomeGenError {
-		t.Fatalf("non-harmonic periods: outcome %q", r.Outcome)
+	if r, err := RunTrial(bad); err != nil || r.Outcome != OutcomeGenError {
+		t.Fatalf("non-harmonic periods: outcome %q err %v", r.Outcome, err)
 	}
 
 	// Heavy overload on one processor is unschedulable.
@@ -165,8 +165,8 @@ func TestRunTrialOutcomes(t *testing.T) {
 		Gen:   gen.Config{Seed: 1, Tasks: 30, Utilization: 8},
 		Procs: 1, Comm: 1,
 	}
-	if r := RunTrial(over); r.Outcome != OutcomeUnschedulable {
-		t.Fatalf("overload: outcome %q", r.Outcome)
+	if r, err := RunTrial(over); err != nil || r.Outcome != OutcomeUnschedulable {
+		t.Fatalf("overload: outcome %q err %v", r.Outcome, err)
 	}
 
 	// A comfortable instance goes end to end.
@@ -174,7 +174,10 @@ func TestRunTrialOutcomes(t *testing.T) {
 		Gen:   gen.Config{Seed: 3, Tasks: 12, Utilization: 1.5},
 		Procs: 3, Comm: 1,
 	}
-	r := RunTrial(ok)
+	r, err := RunTrial(ok)
+	if err != nil {
+		t.Fatal(err)
+	}
 	if r.Outcome != OutcomeOK {
 		t.Fatalf("comfortable instance: outcome %q", r.Outcome)
 	}

@@ -12,10 +12,10 @@ import "fmt"
 // Coverage is validated strictly: every trial of the spec's
 // enumeration must be present exactly once, each row must agree with
 // the enumeration on cell and seed, and each accepted row must carry
-// exactly the extras the spec's analyzer set produces (rejected rows
-// none). Any gap, duplicate, or mismatch is an error — a merge must
-// never quietly publish aggregates over a partial sweep, nor extras
-// columns covering only part of one.
+// exactly the extras the spec's analyzer and phase sets produce
+// (rejected rows none). Any gap, duplicate, or mismatch is an error —
+// a merge must never quietly publish aggregates over a partial sweep,
+// nor extras columns covering only part of one.
 func Fold(spec *Spec, rows []TrialResult) (*Result, error) {
 	trials, err := spec.Trials()
 	if err != nil {
@@ -28,7 +28,11 @@ func Fold(spec *Spec, rows []TrialResult) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	expectedExtras := set.Keys()
+	phases, err := spec.PhaseSet()
+	if err != nil {
+		return nil, err
+	}
+	expectedExtras := set.PhasedKeys(phases)
 	sorted := make([]TrialResult, len(trials))
 	seen := make([]bool, len(trials))
 	coll := newCollector(cellOrder(trials))

@@ -19,8 +19,13 @@ import (
 // blocks on the Once until it is ready. Results are byte-identical to
 // the unmemoised path because the prefix computation is deterministic
 // and nothing mutable is shared: the schedule is cloned per trial, the
-// before-report is read-only downstream, and the prefix-only analyzer
-// extras are copied into each trial's payload.
+// before-report is read-only downstream, and the policy-independent
+// analyzer extras — the prefix-only values and, with the before phase
+// enabled, the before.* values instrumenting the initial schedule —
+// are copied into each trial's payload (analyzers.Set.RunSuffix copies
+// the shared map, never mutates it). Sharing the before-phase extras
+// is what keeps the phase axis cheap: the before analysis runs once
+// per grid point, not once per policy cell.
 //
 // Memory: entries are dropped as soon as every trial sharing the prefix
 // has consumed it (a per-entry countdown initialised during enumeration),
@@ -63,8 +68,12 @@ func newPrefixCache(trials []Trial) *prefixCache {
 	return c
 }
 
-// runTrial is the memoised equivalent of RunTrial.
-func (c *prefixCache) runTrial(t Trial) TrialResult {
+// runTrial is the memoised equivalent of RunTrial. The prefix's
+// trialPrefix — including any analyzer validation error — is shared by
+// every trial of the grid point, so a non-finite before-phase extra
+// surfaces identically whether the prefix was computed by this trial
+// or replayed from the cache.
+func (c *prefixCache) runTrial(t Trial) (TrialResult, error) {
 	key := prefixKey(t)
 	c.mu.Lock()
 	e := c.entries[key]
@@ -81,8 +90,11 @@ func (c *prefixCache) runTrial(t Trial) TrialResult {
 		delete(c.entries, key)
 		c.mu.Unlock()
 	}
+	if pre.err != nil {
+		return TrialResult{}, pre.err
+	}
 	if pre.outcome != "" {
-		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}
+		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}, nil
 	}
 	return finishTrial(t, pre.is.Clone(), pre.repBefore, pre.preExtras)
 }

@@ -60,6 +60,18 @@ type Spec struct {
 	// analyzer sets can never be mixed. Empty (the default) is the
 	// allocation-neutral fast path.
 	Analyzers []string `json:"analyzers,omitempty"`
+
+	// AnalyzerPhases selects the schedule phases the analyzers run
+	// over: ["after"] (the default — balanced schedule only, the
+	// unprefixed extras keys) or ["before","after"], which also runs
+	// the phase-sensitive analyzers over the initial pre-balancing
+	// schedule and adds before.<ns>.* and delta.<ns>.* extras. The
+	// list is canonicalised by Normalize — and collapsed back to the
+	// default when no analyzers are named, so the phase axis never
+	// forks the sweep identity without a behavioural difference. Like
+	// the analyzer set, the phase set is part of Spec.Hash(): journals
+	// written under different phase sets can never be mixed.
+	AnalyzerPhases []string `json:"analyzer_phases,omitempty"`
 }
 
 // Trial is one fully-resolved pipeline run: a point of the spec grid
@@ -75,6 +87,7 @@ type Trial struct {
 
 	ignoreTiming bool
 	analyzers    analyzers.Set
+	phases       analyzers.PhaseSet
 }
 
 // Normalize fills defaults in place and validates the spec.
@@ -145,6 +158,18 @@ func (s *Spec) Normalize() error {
 		return fmt.Errorf("campaign: %w", err)
 	}
 	s.Analyzers = set.Names()
+	// Canonicalise the phase set the same way. With no analyzers the
+	// phase axis is inert (there are no extras to phase), so it is
+	// collapsed to the default rather than letting two behaviourally
+	// identical sweeps hash apart.
+	phases, err := analyzers.ParsePhases(s.AnalyzerPhases)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if len(set) == 0 {
+		phases = analyzers.DefaultPhases()
+	}
+	s.AnalyzerPhases = phases.Names()
 	// Duplicate axis values would enumerate identical grid points that
 	// share one cell key, double-counting every seed in the aggregates.
 	if err := noDups("tasks", s.Tasks); err != nil {
@@ -169,6 +194,10 @@ func (s *Spec) Trials() ([]Trial, error) {
 		return nil, err
 	}
 	set, err := s.AnalyzerSet()
+	if err != nil {
+		return nil, err
+	}
+	phases, err := s.PhaseSet()
 	if err != nil {
 		return nil, err
 	}
@@ -201,6 +230,7 @@ func (s *Spec) Trials() ([]Trial, error) {
 							Policy:       policy,
 							ignoreTiming: s.IgnoreTiming,
 							analyzers:    set,
+							phases:       phases,
 						})
 					}
 				}
@@ -221,6 +251,16 @@ func (s *Spec) AnalyzerSet() (analyzers.Set, error) {
 		return nil, fmt.Errorf("campaign: %w", err)
 	}
 	return set, nil
+}
+
+// PhaseSet resolves the spec's analyzer-phase names into the canonical
+// PhaseSet (the after-only default when none are named).
+func (s *Spec) PhaseSet() (analyzers.PhaseSet, error) {
+	phases, err := analyzers.ParsePhases(s.AnalyzerPhases)
+	if err != nil {
+		return analyzers.PhaseSet{}, fmt.Errorf("campaign: %w", err)
+	}
+	return phases, nil
 }
 
 // CellOrder returns the distinct cell keys in enumeration order.

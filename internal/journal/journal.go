@@ -47,8 +47,12 @@ const (
 	// Version 2 added the analyzer-set binding (and analyzer extras on
 	// the trial rows): version-1 journals predate per-trial analyzers
 	// and are refused rather than silently merged without extras.
+	// Version 3 added the analyzer-phase binding (before./delta. extras
+	// namespaces): version-2 journals predate the phase axis, so their
+	// rows cannot be validated against a phased spec and are refused
+	// rather than silently merged with after-only extras.
 	Magic   = "lbjournal"
-	Version = 2
+	Version = 3
 
 	// DefaultSyncEvery is the default fsync cadence in records. A crash
 	// loses at most this many journaled trials (they just re-run on
@@ -78,6 +82,11 @@ type Header struct {
 	// sets fails with a targeted message (the spec hash alone would
 	// only say "different sweep").
 	Analyzers []string `json:"analyzers"`
+
+	// Phases is the spec's canonicalised analyzer-phase set, duplicated
+	// for the same reason: resuming or merging across phase sets fails
+	// naming the two sets, not just "different sweeps".
+	Phases []string `json:"analyzer_phases"`
 
 	// ShardIndex/ShardCount name this file's slice of the sharded run
 	// (0/1 for an unsharded sweep); Lo/Hi is the half-open trial-index
@@ -122,6 +131,7 @@ func NewHeader(spec *campaign.Spec, i, n int) (Header, error) {
 		SpecHash:   hash,
 		Spec:       spec,
 		Analyzers:  append([]string(nil), spec.Analyzers...),
+		Phases:     append([]string(nil), spec.AnalyzerPhases...),
 		ShardIndex: i,
 		ShardCount: n,
 		Lo:         lo,
@@ -136,7 +146,17 @@ func (h Header) check() error {
 		return fmt.Errorf("journal: bad magic %q (not a trial journal)", h.Magic)
 	}
 	if h.Version != Version {
-		return fmt.Errorf("journal: unsupported version %d (want %d)", h.Version, Version)
+		// Name what the missing schema feature is for the versions we
+		// know: "unsupported" alone sends the operator hunting through
+		// release notes.
+		hint := ""
+		switch h.Version {
+		case 1:
+			hint = " — version 1 predates per-trial analyzers; re-run the sweep with this build"
+		case 2:
+			hint = " — version 2 predates the analyzer phase axis (before/delta extras); re-run the sweep with this build"
+		}
+		return fmt.Errorf("journal: unsupported version %d (want %d)%s", h.Version, Version, hint)
 	}
 	if h.Spec == nil {
 		return fmt.Errorf("journal: header carries no spec")
@@ -153,23 +173,31 @@ func (h Header) check() error {
 	if hash != h.SpecHash {
 		return fmt.Errorf("journal: embedded spec hashes to %.12s…, header claims %.12s…", hash, h.SpecHash)
 	}
-	// Hash() normalised the embedded spec, so its analyzer list is
-	// canonical; the header's duplicate must agree with it exactly.
+	// Hash() normalised the embedded spec, so its analyzer and phase
+	// lists are canonical; the header's duplicates must agree exactly.
 	if !slices.Equal(h.Analyzers, h.Spec.Analyzers) {
 		return fmt.Errorf("journal: header analyzer set %v does not match the embedded spec's %v", h.Analyzers, h.Spec.Analyzers)
+	}
+	if !slices.Equal(h.Phases, h.Spec.AnalyzerPhases) {
+		return fmt.Errorf("journal: header phase set %v does not match the embedded spec's %v", h.Phases, h.Spec.AnalyzerPhases)
 	}
 	return nil
 }
 
 // compatible reports whether an on-disk header matches the header a
 // resuming run would write: same campaign, same analyzer set, same
-// shard. The analyzer comparison comes first — an analyzer-set change
-// also changes the spec hash, and "resume with the same -analyzers or
-// start a fresh journal" is the actionable message.
+// phase set, same shard. The analyzer and phase comparisons come first
+// — either change also changes the spec hash, and "resume with the
+// same -analyzers/-analyzer-phases or start a fresh journal" is the
+// actionable message.
 func (h Header) compatible(want Header) error {
 	if !slices.Equal(h.Analyzers, want.Analyzers) {
 		return fmt.Errorf("journal: written with analyzers %s, this run requests %s — resume with the matching -analyzers or start a fresh journal",
 			analyzerList(h.Analyzers), analyzerList(want.Analyzers))
+	}
+	if !slices.Equal(h.Phases, want.Phases) {
+		return fmt.Errorf("journal: written with analyzer phases %s, this run requests %s — resume with the matching -analyzer-phases or start a fresh journal",
+			analyzerList(h.Phases), analyzerList(want.Phases))
 	}
 	if h.SpecHash != want.SpecHash {
 		return fmt.Errorf("journal: spec hash %.12s… does not match this sweep (%.12s…) — wrong spec or wrong journal", h.SpecHash, want.SpecHash)

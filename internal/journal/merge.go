@@ -18,9 +18,9 @@ import (
 //   - every journal must read cleanly (framing + per-record CRC; a
 //     torn tail means the shard's run was killed and must be resumed
 //     before merging),
-//   - all headers must agree on version, spec hash, analyzer set, and
-//     total trial count (and each embedded spec must hash to its
-//     header's claim),
+//   - all headers must agree on version, spec hash, analyzer set,
+//     phase set, and total trial count (and each embedded spec must
+//     hash to its header's claim),
 //   - each shard must completely cover its own [Lo,Hi) range,
 //   - the ranges together must tile [0,Total) exactly — no gaps, no
 //     overlaps, no shard given twice.
@@ -51,12 +51,16 @@ func Merge(paths []string) (*campaign.Result, error) {
 	base := journals[0].Header
 	for i, j := range journals[1:] {
 		h := j.Header
-		// Analyzer disagreement implies spec-hash disagreement; check it
-		// first so the error names the actual mismatch instead of the
-		// generic "different sweeps".
+		// Analyzer or phase disagreement implies spec-hash disagreement;
+		// check them first so the error names the actual mismatch
+		// instead of the generic "different sweeps".
 		if !slices.Equal(h.Analyzers, base.Analyzers) {
 			return nil, fmt.Errorf("journal: %s was written with analyzers %s but %s with %s — shards of different analyzer sets cannot merge",
 				paths[i+1], analyzerList(h.Analyzers), paths[0], analyzerList(base.Analyzers))
+		}
+		if !slices.Equal(h.Phases, base.Phases) {
+			return nil, fmt.Errorf("journal: %s was written with analyzer phases %s but %s with %s — shards of different phase sets cannot merge",
+				paths[i+1], analyzerList(h.Phases), paths[0], analyzerList(base.Phases))
 		}
 		if h.SpecHash != base.SpecHash {
 			return nil, fmt.Errorf("journal: %s carries spec %.12s… but %s carries %.12s… — shards of different sweeps",

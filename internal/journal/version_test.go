@@ -15,7 +15,7 @@ import (
 // analyzerSpec is the test spec with the full analyzer set attached.
 func analyzerSpec() *campaign.Spec {
 	s := testSpec()
-	s.Analyzers = []string{"schedulability", "moves", "contention"}
+	s.Analyzers = []string{"schedulability", "moves", "contention", "reuse"}
 	return s
 }
 

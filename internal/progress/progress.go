@@ -1,0 +1,43 @@
+// Package progress renders lbfarm's periodic progress line. The rate
+// and ETA arithmetic lives here as pure functions of explicit counters
+// and an elapsed duration — the clock is injected, never read — so the
+// resume-specific edge cases (journal-replayed trials must not inflate
+// the completion rate; no live trial yet means no ETA) are unit-tested
+// instead of riding untested behind a real 2-second ticker.
+package progress
+
+import (
+	"fmt"
+	"time"
+)
+
+// Line formats one progress line for a sweep.
+//
+//	done  trials finished so far, including journal-replayed ones
+//	ok    accepted trials among done
+//	base  trials replayed from a journal at startup (resume); they
+//	      count toward done but are excluded from the completion rate —
+//	      they cost this process nothing, so counting them would
+//	      collapse the ETA toward zero right after a resume
+//	total trials this run must end with
+//
+// elapsed is the wall-clock time since the run started, injected by
+// the caller. The ETA extrapolates the live completion rate
+// (done−base trials over elapsed) across the remaining trials; with no
+// live trial yet — or no elapsed time to rate them over — it renders
+// as "?".
+func Line(done, ok, base, total int64, elapsed time.Duration) string {
+	var accept, pct float64
+	if done > 0 {
+		accept = float64(ok) / float64(done)
+	}
+	if total > 0 {
+		pct = float64(done) / float64(total)
+	}
+	eta := "?"
+	if live := done - base; live > 0 && elapsed > 0 {
+		rate := float64(live) / elapsed.Seconds()
+		eta = time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second).String()
+	}
+	return fmt.Sprintf("%d/%d trials (%.0f%%), accept %.0f%%, eta %s", done, total, 100*pct, 100*accept, eta)
+}

@@ -1,0 +1,63 @@
+package progress
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestLineFresh: a fresh (unresumed) run rates every finished trial.
+func TestLineFresh(t *testing.T) {
+	// 50 of 200 trials in 10s → 5 trials/s → 150 remaining = 30s.
+	got := Line(50, 40, 0, 200, 10*time.Second)
+	want := "50/200 trials (25%), accept 80%, eta 30s"
+	if got != want {
+		t.Fatalf("Line = %q, want %q", got, want)
+	}
+}
+
+// TestLineResumeExcludesReplayed is the regression pin for the resume
+// rate: journal-replayed trials count toward done but not toward the
+// completion rate, so a resume that replayed 90% of the sweep must not
+// report a near-zero ETA off the replayed rows.
+func TestLineResumeExcludesReplayed(t *testing.T) {
+	// 180 replayed + 10 live in 10s → 1 trial/s → 10 remaining = 10s.
+	got := Line(190, 190, 180, 200, 10*time.Second)
+	if !strings.Contains(got, "eta 10s") {
+		t.Fatalf("Line = %q, want the ETA rated over live trials only (eta 10s)", got)
+	}
+	// Rated over all 190 done the ETA would be under a second.
+	if strings.Contains(got, "eta 0s") || strings.Contains(got, "526ms") {
+		t.Fatalf("Line = %q rates replayed trials", got)
+	}
+}
+
+// TestLineNoLiveTrials: with nothing live yet there is no rate to
+// extrapolate — right after a resume (all done trials replayed) and at
+// t=0 the ETA must render as "?" rather than divide by zero.
+func TestLineNoLiveTrials(t *testing.T) {
+	for _, tc := range []struct {
+		name                  string
+		done, ok, base, total int64
+		elapsed               time.Duration
+	}{
+		{"start of fresh run", 0, 0, 0, 100, 0},
+		{"just resumed, only replayed rows", 60, 55, 60, 100, 5 * time.Second},
+		{"live rows but zero elapsed", 5, 5, 0, 100, 0},
+	} {
+		got := Line(tc.done, tc.ok, tc.base, tc.total, tc.elapsed)
+		if !strings.Contains(got, "eta ?") {
+			t.Fatalf("%s: Line = %q, want eta ?", tc.name, got)
+		}
+	}
+}
+
+// TestLineComplete: the final line of a finished sweep.
+func TestLineComplete(t *testing.T) {
+	got := Line(100, 75, 0, 100, 20*time.Second)
+	for _, want := range []string{"100/100", "(100%)", "accept 75%", "eta 0s"} {
+		if !strings.Contains(got, want) {
+			t.Fatalf("Line = %q, want %q in it", got, want)
+		}
+	}
+}

@@ -37,16 +37,30 @@ type MemReuseReport struct {
 
 // Savings returns 1 − Σreuse/Σpaper, the fraction of memory the paper's
 // accounting overstates relative to a perfectly reusing allocator.
+//
+// The zero return is ambiguous: it means either "genuinely no savings"
+// (Σreuse == Σpaper > 0) or "nothing to compare" (Σpaper == 0 — an
+// empty or memoryless schedule, where the ratio is undefined and 0 is
+// a convention). Consumers that must tell the two apart use SavingsOK.
 func (r *MemReuseReport) Savings() float64 {
+	s, _ := r.SavingsOK()
+	return s
+}
+
+// SavingsOK is Savings with the undefined case made explicit: ok is
+// false — and the savings value 0 by convention — when Σpaper == 0,
+// true when the fraction is a real measurement (including a measured
+// zero).
+func (r *MemReuseReport) SavingsOK() (savings float64, ok bool) {
 	var p, u model.Mem
 	for i := range r.Paper {
 		p += r.Paper[i]
 		u += r.Reuse[i]
 	}
 	if p == 0 {
-		return 0
+		return 0, false
 	}
-	return 1 - float64(u)/float64(p)
+	return 1 - float64(u)/float64(p), true
 }
 
 // MinMemoryWithReuse computes the per-processor peak of simultaneously

@@ -104,3 +104,33 @@ func TestReuseNeverExceedsPaper(t *testing.T) {
 		}
 	}
 }
+
+// TestSavingsDisambiguation pins the two meanings Savings' bare zero
+// conflates and SavingsOK separates: "nothing to compare" (ΣPaper==0,
+// ok=false) versus "a measured zero" (ΣPaper==ΣReuse>0, ok=true). The
+// reuse analyzer's savings_defined column builds directly on this.
+func TestSavingsDisambiguation(t *testing.T) {
+	// ΣPaper == 0: the fraction is undefined; 0 is a convention.
+	undefined := &MemReuseReport{Paper: []model.Mem{0, 0}, Reuse: []model.Mem{0, 0}}
+	if s, ok := undefined.SavingsOK(); s != 0 || ok {
+		t.Fatalf("SavingsOK with ΣPaper=0 = (%v, %v), want (0, false)", s, ok)
+	}
+	if s := undefined.Savings(); s != 0 {
+		t.Fatalf("Savings with ΣPaper=0 = %v, want the documented 0 convention", s)
+	}
+
+	// Genuinely no savings: a real measurement of zero.
+	zero := &MemReuseReport{Paper: []model.Mem{3, 2}, Reuse: []model.Mem{3, 2}}
+	if s, ok := zero.SavingsOK(); s != 0 || !ok {
+		t.Fatalf("SavingsOK with ΣPaper=ΣReuse = (%v, %v), want (0, true)", s, ok)
+	}
+
+	// And a real saving for contrast: 1 − 6/8.
+	save := &MemReuseReport{Paper: []model.Mem{4, 4}, Reuse: []model.Mem{3, 3}}
+	if s, ok := save.SavingsOK(); s != 0.25 || !ok {
+		t.Fatalf("SavingsOK = (%v, %v), want (0.25, true)", s, ok)
+	}
+	if s := save.Savings(); s != 0.25 {
+		t.Fatalf("Savings = %v, want 0.25", s)
+	}
+}

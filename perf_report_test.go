@@ -59,8 +59,8 @@ func TestEmitBenchReport(t *testing.T) {
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	lat := measure(t, runs, func() {
-		if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
-			t.Fatalf("outcome %q", r.Outcome)
+		if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK {
+			t.Fatalf("outcome %q err %v", r.Outcome, err)
 		}
 	})
 	runtime.ReadMemStats(&ms1)

@@ -47,12 +47,12 @@ func paperScaleInput(tb testing.TB) (*model.TaskSet, *arch.Architecture) {
 // on by default, eager extras maps) blows well past it.
 func TestTrialAllocNeutral(t *testing.T) {
 	trial := campaign.Trial{Cell: "alloc", Gen: gen.Config{Seed: 3, Tasks: 12, Utilization: 1.5}, Procs: 3, Comm: 1}
-	if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK || r.Extras != nil {
-		t.Fatalf("warmup: outcome %q extras %v", r.Outcome, r.Extras)
+	if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK || r.Extras != nil {
+		t.Fatalf("warmup: outcome %q extras %v err %v", r.Outcome, r.Extras, err)
 	}
 	allocs := testing.AllocsPerRun(20, func() {
-		if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
-			t.Fatalf("outcome %q", r.Outcome)
+		if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK {
+			t.Fatalf("outcome %q err %v", r.Outcome, err)
 		}
 	})
 	const maxAllocs = 710
@@ -71,8 +71,8 @@ func TestTrialAllocNeutral(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if r := campaign.RunTrial(trials[0]); r.Outcome != campaign.OutcomeOK || len(r.Extras) == 0 {
-		t.Fatalf("analyzer trial: outcome %q, %d extras", r.Outcome, len(r.Extras))
+	if r, err := campaign.RunTrial(trials[0]); err != nil || r.Outcome != campaign.OutcomeOK || len(r.Extras) == 0 {
+		t.Fatalf("analyzer trial: outcome %q, %d extras, err %v", r.Outcome, len(r.Extras), err)
 	}
 }
 
@@ -113,8 +113,8 @@ func BenchmarkTrial(b *testing.B) {
 		b.ReportAllocs()
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
-			if r := campaign.RunTrial(trial); r.Outcome != campaign.OutcomeOK {
-				b.Fatalf("outcome %q", r.Outcome)
+			if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK {
+				b.Fatalf("outcome %q err %v", r.Outcome, err)
 			}
 		}
 	})
