@@ -434,6 +434,9 @@ func e8(seeds int) {
 			}
 			out[i].gain = float64(res.GainTotal())
 			out[i].maxMem = float64(metrics.MaxMem(res.MemAfter))
+			// MemImbalance is 0 only for a degenerate (all-zero) memory
+			// vector, which a successful balance never produces, so the
+			// averaged column never mixes the sentinel with real ≥1 ratios.
 			out[i].imb = metrics.MemImbalance(res.MemAfter)
 			out[i].relaxed = res.RelaxedLCM
 			if res.ConservativePropagation {

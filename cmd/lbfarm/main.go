@@ -52,6 +52,7 @@ import (
 	"repro/internal/campaign/analyzers"
 	"repro/internal/journal"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/progress"
 )
@@ -97,7 +98,11 @@ func main() {
 		journalPath = flag.String("journal", "", "append completed trials to this checksummed journal (default with -shard: journals/<name>.shard<i>of<n>.jsonl)")
 		resume      = flag.Bool("resume", false, "resume from the journal at -journal, skipping already-journaled trials")
 		shardSpec   = flag.String("shard", "", "run only shard i/n of the trial grid (1-based, e.g. 2/3); implies a journal and skips artifact writing")
-		progress    = flag.Bool("progress", false, "print a periodic progress line (trials done/total, accept ratio, ETA) to stderr")
+		progress    = flag.Bool("progress", false, "print a periodic progress line (trials done/total, accept ratio, ETA, stage breakdown) to stderr")
+
+		obsOn       = flag.Bool("obs", true, "collect run telemetry (per-stage latency, event counters) and write the runinfo sidecar; artifacts are byte-identical either way")
+		runinfoPath = flag.String("runinfo", "", "write the telemetry sidecar to this path (default <out>/<name>"+obs.RunInfoSuffix+", or next to the shard journal)")
+		debugAddr   = flag.String("debug-addr", "", "serve live debug endpoints (expvar /debug/vars with the obs snapshot, net/http/pprof /debug/pprof/) on this host:port; port 0 picks one")
 	)
 	flag.Parse()
 
@@ -179,6 +184,30 @@ func main() {
 		fatal("-resume requires -journal (or -shard)")
 	}
 
+	// Telemetry. A nil set disables it end to end — every recorder
+	// handed out is nil and every observation is a single branch — and
+	// the artifacts are byte-identical either way.
+	var set *obs.Set
+	if *obsOn {
+		set = obs.NewSet(*workers)
+	}
+	if *debugAddr != "" {
+		specHash, err := spec.Hash()
+		if err != nil {
+			fatal(err)
+		}
+		bound, _, err := obs.Serve(*debugAddr, map[string]func() any{
+			"obs": func() any { return set.Snapshot() },
+			"lbfarm": func() any {
+				return map[string]any{"name": spec.Name, "spec_hash": specHash, "trials": hi - lo}
+			},
+		})
+		if err != nil {
+			fatal(err)
+		}
+		log.Printf("debug endpoints on http://%s/debug/vars and /debug/pprof/", bound)
+	}
+
 	var (
 		w    *journal.Writer
 		done []campaign.TrialResult
@@ -197,15 +226,19 @@ func main() {
 				fatal(err)
 			}
 			log.Printf("resuming %s: %d of %d trials already journaled", path, len(done), hi-lo)
+			if w.RepairedTorn {
+				set.Aux().Add(obs.CounterTornRepairs, 1)
+			}
 		} else {
 			w, err = journal.Create(path, hdr)
 			if err != nil {
 				fatal(err)
 			}
 		}
+		w.Obs = set.Aux()
 	}
 
-	eng := &campaign.Engine{Workers: *workers, NoMemo: *noMemo, Done: done, Lo: lo, Hi: hi}
+	eng := &campaign.Engine{Workers: *workers, NoMemo: *noMemo, Done: done, Lo: lo, Hi: hi, Obs: set}
 
 	// The sink both journals live trials and feeds the progress
 	// counters; it runs concurrently on every worker.
@@ -230,7 +263,7 @@ func main() {
 	}
 	var stopProgress func()
 	if *progress {
-		stopProgress = startProgress(&doneN, &okN, int64(len(done)), int64(hi-lo))
+		stopProgress = startProgress(&doneN, &okN, int64(len(done)), int64(hi-lo), set)
 	}
 
 	res, err := eng.Run(spec)
@@ -249,12 +282,30 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Print(res.Table())
+
+	// The telemetry sidecar goes next to the run's primary product: the
+	// shard journal for sharded runs, the artifact pair otherwise. With
+	// -table-only there is no product directory, so the sidecar is only
+	// written when -runinfo names a path explicitly.
+	ripath := *runinfoPath
+	shardLabel := ""
+	if sharded {
+		shardLabel = fmt.Sprintf("%d/%d", shardIdx+1, shardCnt)
+		if ripath == "" {
+			ripath = strings.TrimSuffix(path, filepath.Ext(path)) + obs.RunInfoSuffix
+		}
+	} else if ripath == "" && !*noTrials {
+		ripath = filepath.Join(*out, spec.Name+obs.RunInfoSuffix)
+	}
+
 	if sharded {
 		fmt.Printf("shard %d/%d (trials [%d,%d) of %d) journaled to %s — merge the shards with lbmerge\n",
 			shardIdx+1, shardCnt, lo, hi, len(trials), path)
+		writeRunInfo(ripath, set, spec, shardLabel, hi-lo, res.Workers)
 		return
 	}
 	if *noTrials {
+		writeRunInfo(ripath, set, spec, "", hi-lo, res.Workers)
 		return
 	}
 	jp, cp, err := res.WriteArtifacts(*out)
@@ -262,6 +313,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
+	writeRunInfo(ripath, set, spec, "", hi-lo, res.Workers)
+}
+
+// writeRunInfo merges the run's telemetry and writes the sidecar. A nil
+// set (-obs=false) or empty path skips it; the sidecar is deliberately
+// outside the artifact byte-identity contract (see internal/obs).
+func writeRunInfo(path string, set *obs.Set, spec *campaign.Spec, shard string, trials, workers int) {
+	if set == nil || path == "" {
+		return
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		fatal(err)
+	}
+	ri := obs.NewRunInfo("lbfarm")
+	ri.Name = spec.Name
+	ri.SpecHash = hash
+	ri.Shard = shard
+	ri.Trials = trials
+	ri.Workers = workers
+	ri.Obs = set.Snapshot()
+	ri.Finish(set.Elapsed())
+	if err := ri.Write(path); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("runinfo: %s\n", path)
 }
 
 // parseShard reads "i/n" (1-based) into a 0-based shard index and the
@@ -284,34 +361,44 @@ func parseShard(s string) (idx, count int, err error) {
 }
 
 // startProgress prints a progress line to stderr every few seconds:
-// trials done/total, accept ratio over the observed trials, and an ETA
+// trials done/total, accept ratio over the observed trials, an ETA
 // extrapolated from the live completion rate (journal-replayed trials
-// are excluded from the rate). The formatting and rate arithmetic live
-// in internal/progress as pure, unit-tested functions of an injected
-// elapsed time; this wrapper only owns the ticker and the clock. The
-// returned func stops the ticker and prints a final line.
-func startProgress(doneN, okN *atomic.Int64, base, total int64) func() {
+// are excluded from the rate), and — with telemetry on — the top
+// pipeline stages by time share. The formatting and rate arithmetic
+// live in internal/progress as pure, unit-tested functions of injected
+// counters and channels; this wrapper only owns the ticker and the
+// clock. The returned func stops the ticker and waits for the emitter
+// goroutine to print its final line and exit, so the last visible line
+// is always the completed one (progress.Loop holds the ordering
+// guarantee; a stale mid-interval tick can never print after it).
+func startProgress(doneN, okN *atomic.Int64, base, total int64, set *obs.Set) func() {
 	start := time.Now()
-	line := func() {
-		fmt.Fprintf(os.Stderr, "lbfarm: %s\n",
-			progress.Line(doneN.Load(), okN.Load(), base, total, time.Since(start)))
+	line := func() string {
+		s := progress.Line(doneN.Load(), okN.Load(), base, total, time.Since(start))
+		if snap := set.Snapshot(); snap != nil {
+			totals := make(map[string]int64, len(snap.Stages))
+			for name, st := range snap.Stages {
+				totals[name] = st.TotalNS
+			}
+			if b := progress.Breakdown(totals, 3); b != "" {
+				s += ", " + b
+			}
+		}
+		return s
 	}
 	tick := time.NewTicker(2 * time.Second)
 	quit := make(chan struct{})
+	done := make(chan struct{})
 	go func() {
-		for {
-			select {
-			case <-tick.C:
-				line()
-			case <-quit:
-				return
-			}
-		}
+		defer close(done)
+		progress.Loop(tick.C, quit, line, func(s string) {
+			fmt.Fprintf(os.Stderr, "lbfarm: %s\n", s)
+		})
 	}()
 	return func() {
 		tick.Stop()
 		close(quit)
-		line()
+		<-done
 	}
 }
 

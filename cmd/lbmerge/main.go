@@ -23,11 +23,13 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"path/filepath"
 	"slices"
 	"strings"
 
 	"repro/internal/campaign/analyzers"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 func main() {
@@ -38,16 +40,40 @@ func main() {
 		tableOnly = flag.Bool("table-only", false, "print the table but write no artifacts")
 		anaFlag   = flag.String("analyzers", "", "assert the shards were produced with exactly this analyzer set (comma-separated, or 'none')")
 		phaseFlag = flag.String("analyzer-phases", "", "assert the shards were produced with exactly this analyzer phase set (after | before,after)")
+
+		obsOn       = flag.Bool("obs", true, "time the merge fold and write the runinfo sidecar next to the artifacts; artifacts are byte-identical either way")
+		runinfoPath = flag.String("runinfo", "", "write the telemetry sidecar to this path (default <out>/<name>"+obs.RunInfoSuffix+")")
+		debugAddr   = flag.String("debug-addr", "", "serve live debug endpoints (expvar /debug/vars, net/http/pprof /debug/pprof/) on this host:port; port 0 picks one")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
 		log.Fatal("usage: lbmerge [-out dir] [-analyzers a,b] [-analyzer-phases before,after] shard1.jsonl shard2.jsonl ...")
 	}
 
+	// The merge is one fold, so its telemetry is a single-recorder set:
+	// the fold stage latency plus the end-of-run host/GC facts.
+	var set *obs.Set
+	if *obsOn {
+		set = obs.NewSet(1)
+	}
+	if *debugAddr != "" {
+		bound, _, err := obs.Serve(*debugAddr, map[string]func() any{
+			"obs": func() any { return set.Snapshot() },
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("debug endpoints on http://%s/debug/vars and /debug/pprof/", bound)
+	}
+
+	rec := set.Aux()
+	t0 := rec.Clock()
 	res, err := journal.Merge(flag.Args())
+	rec.Stamp(obs.StageFold, t0)
 	if err != nil {
 		log.Fatal(err)
 	}
+	rec.Add(obs.CounterReplayedTrials, int64(len(res.Trials)))
 	if *anaFlag != "" {
 		var names []string
 		if *anaFlag != "none" {
@@ -87,6 +113,28 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
+
+	if set != nil {
+		hash, err := res.Spec.Hash()
+		if err != nil {
+			log.Fatal(err)
+		}
+		ri := obs.NewRunInfo("lbmerge")
+		ri.Name = res.Spec.Name
+		ri.SpecHash = hash
+		ri.Trials = len(res.Trials)
+		ri.Workers = 1
+		ri.Obs = set.Snapshot()
+		ri.Finish(set.Elapsed())
+		ripath := *runinfoPath
+		if ripath == "" {
+			ripath = filepath.Join(*out, res.Spec.Name+obs.RunInfoSuffix)
+		}
+		if err := ri.Write(ripath); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("runinfo: %s\n", ripath)
+	}
 }
 
 // split breaks a comma-separated flag value into trimmed parts.

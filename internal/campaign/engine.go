@@ -13,6 +13,7 @@ import (
 	"repro/internal/gen"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 	"repro/internal/sim"
 )
@@ -142,6 +143,16 @@ type Engine struct {
 	// Hi = 0 means "through the last trial". The default zero values
 	// run the whole grid.
 	Lo, Hi int
+
+	// Obs, when non-nil, receives run telemetry: per-stage latency
+	// observations on each worker's own recorder, trial outcome and
+	// memo-cache counters, and one throughput-timeline tick per live
+	// trial. Telemetry is strictly outside the byte-identity contract —
+	// the Result (and the artifacts folded from it) is bit-identical
+	// with Obs attached or nil, pinned by TestObsByteIdentity — and the
+	// recorders are lock-free, so attaching it costs a few clock reads
+	// and atomic adds per trial.
+	Obs *obs.Set
 }
 
 // Run executes every trial of the spec (minus replayed Done rows,
@@ -227,17 +238,19 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 		errOnce.Do(func() { runErr = err })
 		aborted.Store(true)
 	}
+	e.Obs.Aux().Add(obs.CounterReplayedTrials, int64(len(e.Done)))
 	start := time.Now()
-	live := Map(len(pending), workers, func(i int) TrialResult {
+	live := mapWorkers(len(pending), workers, func(w, i int) TrialResult {
 		if aborted.Load() {
 			return TrialResult{Index: -1}
 		}
+		rec := e.Obs.Recorder(w)
 		var r TrialResult
 		var err error
 		if cache != nil {
-			r, err = cache.runTrial(pending[i])
+			r, err = cache.runTrial(pending[i], rec)
 		} else {
-			r, err = RunTrial(pending[i])
+			r, err = runTrial(pending[i], rec)
 		}
 		if err != nil {
 			// An analyzer produced an invalid (non-finite) extra: abort
@@ -247,12 +260,21 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 			fail(fmt.Errorf("trial %d: %w", pending[i].Index, err))
 			return TrialResult{Index: -1}
 		}
+		if r.Outcome == OutcomeOK {
+			rec.Add(obs.CounterTrialsAccepted, 1)
+		} else {
+			rec.Add(obs.CounterTrialsRejected, 1)
+		}
 		coll.observe(r)
 		if e.Sink != nil {
-			if err := e.Sink(r); err != nil {
+			t0 := rec.Clock()
+			err := e.Sink(r)
+			rec.Stamp(obs.StageSinkWait, t0)
+			if err != nil {
 				fail(fmt.Errorf("sink: trial %d: %w", r.Index, err))
 			}
 		}
+		e.Obs.Tick()
 		return r
 	})
 	if runErr != nil {
@@ -261,9 +283,13 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	for _, r := range live {
 		results[r.Index-lo] = r
 	}
+	foldRec := e.Obs.Aux()
+	t0 := foldRec.Clock()
+	cells := coll.finalize()
+	foldRec.Stamp(obs.StageFold, t0)
 	return &Result{
 		Spec:    *spec,
-		Cells:   coll.finalize(),
+		Cells:   cells,
 		Trials:  results,
 		Workers: workers,
 		Elapsed: time.Since(start),
@@ -335,8 +361,15 @@ type trialPrefix struct {
 // only reaches the balancer), which is what makes the result shareable
 // across policy cells — the before phase instruments the initial
 // schedule, which every policy cell of a grid point shares.
-func runPrefix(t Trial) trialPrefix {
+//
+// rec, when non-nil, receives one latency observation per stage the
+// prefix reached (a rejected trial stops observing at the stage that
+// refused it). Under memoisation the observations land on whichever
+// worker computed the prefix — exactly once per grid point.
+func runPrefix(t Trial, rec *obs.Recorder) trialPrefix {
+	t0 := rec.Clock()
 	ts, err := gen.Generate(t.Gen)
+	t0 = rec.Stamp(obs.StageGenerate, t0)
 	if err != nil {
 		return trialPrefix{outcome: OutcomeGenError}
 	}
@@ -346,17 +379,21 @@ func runPrefix(t Trial) trialPrefix {
 	}
 	s, err := sched.NewScheduler(ts, ar).Run()
 	if err != nil {
+		rec.Stamp(obs.StageSchedule, t0)
 		return trialPrefix{outcome: OutcomeUnschedulable}
 	}
 	is := sched.FromSchedule(s)
+	t0 = rec.Stamp(obs.StageSchedule, t0)
 
 	repBefore, err := (&sim.Runner{}).Run(is)
 	if err != nil {
+		rec.Stamp(obs.StageSimulate, t0)
 		return trialPrefix{outcome: OutcomeSimError}
 	}
 	// Materialise the per-processor listings now so every clone inherits
 	// them instead of re-deriving its own.
 	is.InstancesOn(0)
+	t0 = rec.Stamp(obs.StageSimulate, t0)
 	pre, err := t.analyzers.RunPrefix(&analyzers.Input{TS: ts, Procs: ar.Procs, Comm: t.Comm})
 	if err != nil {
 		return trialPrefix{err: err}
@@ -375,27 +412,32 @@ func runPrefix(t Trial) trialPrefix {
 			return trialPrefix{err: err}
 		}
 	}
+	rec.Stamp(obs.StageAnalyzeBefore, t0)
 	return trialPrefix{is: is, repBefore: repBefore, preExtras: pre}
 }
 
 // finishTrial runs the policy-specific suffix (balance → simulate(after)
 // → analyze) on a private schedule. preExtras carries the
 // policy-independent analyzer values — prefix-only and before-phase —
-// shared read-only across the policy cells of a memoised prefix.
-func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtras map[string]float64) (TrialResult, error) {
+// shared read-only across the policy cells of a memoised prefix. rec,
+// when non-nil, receives the suffix stage latencies.
+func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtras map[string]float64, rec *obs.Recorder) (TrialResult, error) {
 	r := TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed}
 
 	// Candidate recording costs allocations on the balancer's innermost
 	// loop, so it is on only when an active analyzer consumes the trace.
 	bal := core.Balancer{Policy: t.Policy, IgnoreTiming: t.ignoreTiming,
 		RecordCandidates: t.analyzers.NeedsCandidates()}
+	t0 := rec.Clock()
 	res, err := bal.Run(is)
+	t0 = rec.Stamp(obs.StageBalance, t0)
 	if err != nil {
 		r.Outcome = OutcomeBalanceError
 		return r, nil
 	}
 
 	repAfter, err := (&sim.Runner{}).Run(res.Schedule)
+	t0 = rec.Stamp(obs.StageSimulate, t0)
 	if err != nil {
 		r.Outcome = OutcomeSimError
 		return r, nil
@@ -411,6 +453,11 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtr
 	r.MakespanAfter = after.Makespan
 	r.MaxMemBefore = before.MaxMem
 	r.MaxMemAfter = after.MaxMem
+	// The imbalance ratios are ≥ 1 when meaningful; 0 is the metrics
+	// package's degenerate-vector sentinel (all-zero memory or load).
+	// Accepted trials always place memory and busy time somewhere, so
+	// the sentinel never reaches the artifact aggregates — but readers
+	// of raw trial rows must not treat 0 as "better than 1".
 	r.MemImbalBefore = before.MemImbal
 	r.MemImbalAfter = after.MemImbal
 	r.LoadImbalAfter = after.LoadImbal
@@ -437,6 +484,7 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtr
 		Before:  repBefore,
 		After:   repAfter,
 	}, preExtras, t.phases)
+	rec.Stamp(obs.StageAnalyzeAfter, t0)
 	if err != nil {
 		return TrialResult{}, err
 	}
@@ -449,14 +497,29 @@ func finishTrial(t Trial, is *sched.InstSchedule, repBefore *sim.Report, preExtr
 // produced an invalid extra (the sweep should abort), never a rejected
 // trial — rejections are outcomes on the result.
 func RunTrial(t Trial) (TrialResult, error) {
-	pre := runPrefix(t)
+	return runTrial(t, nil)
+}
+
+// RunTrialObserved is RunTrial with per-stage latency telemetry
+// recorded into rec (nil behaves exactly like RunTrial). The recorder
+// never influences the result — it is the single-trial entry point for
+// benchmarking recorder overhead and for callers embedding the
+// pipeline outside the engine.
+func RunTrialObserved(t Trial, rec *obs.Recorder) (TrialResult, error) {
+	return runTrial(t, rec)
+}
+
+// runTrial is the recorder-threaded implementation shared by the
+// exported entry points and the engine's unmemoised path.
+func runTrial(t Trial, rec *obs.Recorder) (TrialResult, error) {
+	pre := runPrefix(t, rec)
 	if pre.err != nil {
 		return TrialResult{}, pre.err
 	}
 	if pre.outcome != "" {
 		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}, nil
 	}
-	return finishTrial(t, pre.is, pre.repBefore, pre.preExtras)
+	return finishTrial(t, pre.is, pre.repBefore, pre.preExtras, rec)
 }
 
 // summarize assembles the metrics.Summary for one distribution.

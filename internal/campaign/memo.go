@@ -4,6 +4,8 @@ import (
 	"fmt"
 	"sync"
 	"sync/atomic"
+
+	"repro/internal/obs"
 )
 
 // memo.go memoises the policy-independent trial prefix across the policy
@@ -73,7 +75,12 @@ func newPrefixCache(trials []Trial) *prefixCache {
 // every trial of the grid point, so a non-finite before-phase extra
 // surfaces identically whether the prefix was computed by this trial
 // or replayed from the cache.
-func (c *prefixCache) runTrial(t Trial) (TrialResult, error) {
+//
+// rec, when non-nil, receives the telemetry: a memo-miss counter tick
+// (plus the prefix stage latencies) on the trial that computed the
+// prefix, a memo-hit tick on every trial that received the clone, and
+// the suffix stage latencies on all of them.
+func (c *prefixCache) runTrial(t Trial, rec *obs.Recorder) (TrialResult, error) {
 	key := prefixKey(t)
 	c.mu.Lock()
 	e := c.entries[key]
@@ -81,9 +88,18 @@ func (c *prefixCache) runTrial(t Trial) (TrialResult, error) {
 	if e == nil {
 		// Not enumerated up front (foreign trial): fall back to the
 		// unmemoised path rather than cache something never evicted.
-		return RunTrial(t)
+		return runTrial(t, rec)
 	}
-	e.once.Do(func() { e.pre = runPrefix(t) })
+	computed := false
+	e.once.Do(func() {
+		computed = true
+		e.pre = runPrefix(t, rec)
+	})
+	if computed {
+		rec.Add(obs.CounterMemoMiss, 1)
+	} else {
+		rec.Add(obs.CounterMemoHit, 1)
+	}
 	pre := e.pre
 	if e.refs.Add(-1) == 0 {
 		c.mu.Lock()
@@ -96,5 +112,5 @@ func (c *prefixCache) runTrial(t Trial) (TrialResult, error) {
 	if pre.outcome != "" {
 		return TrialResult{Index: t.Index, Cell: t.Cell, Seed: t.Gen.Seed, Outcome: pre.outcome}, nil
 	}
-	return finishTrial(t, pre.is.Clone(), pre.repBefore, pre.preExtras)
+	return finishTrial(t, pre.is.Clone(), pre.repBefore, pre.preExtras, rec)
 }

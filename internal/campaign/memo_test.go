@@ -68,7 +68,7 @@ func TestMemoEviction(t *testing.T) {
 		t.Fatalf("distinct prefixes: %d, want %d", distinct, want)
 	}
 	for _, tr := range trials {
-		cache.runTrial(tr)
+		cache.runTrial(tr, nil)
 	}
 	if n := len(cache.entries); n != 0 {
 		t.Fatalf("%d prefix entries survived the sweep, want 0", n)

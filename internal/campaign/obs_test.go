@@ -1,0 +1,151 @@
+package campaign
+
+import (
+	"bytes"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// TestObsByteIdentity pins the tentpole contract of the telemetry
+// layer: attaching recorders must not perturb the artifacts. The same
+// spec produces byte-identical JSON and CSV with telemetry on or off,
+// at every worker count, with and without prefix memoisation — the
+// full matrix a production sweep can run under.
+func TestObsByteIdentity(t *testing.T) {
+	var ref []byte
+	refCSV := new(bytes.Buffer)
+	for _, workers := range []int{1, 2, 8} {
+		for _, noMemo := range []bool{false, true} {
+			for _, withObs := range []bool{false, true} {
+				eng := &Engine{Workers: workers, NoMemo: noMemo}
+				if withObs {
+					eng.Obs = obs.NewSet(workers)
+				}
+				res, err := eng.Run(smokeSpec())
+				if err != nil {
+					t.Fatalf("workers=%d noMemo=%v obs=%v: %v", workers, noMemo, withObs, err)
+				}
+				data, err := res.JSON()
+				if err != nil {
+					t.Fatal(err)
+				}
+				csv := new(bytes.Buffer)
+				if err := res.WriteCSV(csv); err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref, refCSV = data, csv
+					continue
+				}
+				if !bytes.Equal(ref, data) {
+					t.Fatalf("workers=%d noMemo=%v obs=%v: JSON diverges from the reference run",
+						workers, noMemo, withObs)
+				}
+				if !bytes.Equal(refCSV.Bytes(), csv.Bytes()) {
+					t.Fatalf("workers=%d noMemo=%v obs=%v: CSV diverges from the reference run",
+						workers, noMemo, withObs)
+				}
+			}
+		}
+	}
+}
+
+// TestEngineObsCounters checks the engine populates the telemetry it
+// promises: every live trial is counted exactly once as accepted or
+// rejected, the memoised sweep records one miss per grid point and a
+// hit for every clone, every pipeline stage that must run has samples,
+// and the trial count matches the per-stage observation counts.
+func TestEngineObsCounters(t *testing.T) {
+	spec := smokeSpec()
+	set := obs.NewSet(2)
+	res, err := (&Engine{Workers: 2, Obs: set}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := set.Snapshot()
+	trials := int64(len(res.Trials))
+
+	if got := snap.Counters["trials_accepted"] + snap.Counters["trials_rejected"]; got != trials {
+		t.Fatalf("accepted+rejected = %d, want every live trial once (%d)", got, trials)
+	}
+	// smokeSpec: 2 grid points (procs) × 2 policies × 6 seeds — one miss
+	// per (grid point, seed), one hit per extra policy.
+	if m := snap.Counters["memo_misses"]; m != 12 {
+		t.Fatalf("memo misses = %d, want 12 (one per grid point × seed)", m)
+	}
+	if h := snap.Counters["memo_hits"]; h != 12 {
+		t.Fatalf("memo hits = %d, want 12 (one per cloned policy cell)", h)
+	}
+	// Generate and schedule run once per prefix; the balancer suffix
+	// runs on every schedulable trial.
+	if c := snap.Stages["generate"].Count; c != 12 {
+		t.Fatalf("generate count = %d, want one per prefix (12)", c)
+	}
+	if c := snap.Stages["balance"].Count; c == 0 || c > trials {
+		t.Fatalf("balance count = %d, want within (0,%d]", c, trials)
+	}
+	// The fold is observed exactly once, on the aux recorder.
+	if c := snap.Stages["fold"].Count; c != 1 {
+		t.Fatalf("fold count = %d, want 1", c)
+	}
+	// No journal is attached, so its telemetry must stay silent.
+	for _, key := range []string{"journal_records", "journal_bytes", "journal_fsyncs"} {
+		if v := snap.Counters[key]; v != 0 {
+			t.Fatalf("%s = %d without a journal, want 0", key, v)
+		}
+	}
+	if c := snap.Stages["sink_wait"].Count; c != 0 {
+		t.Fatalf("sink_wait count = %d without a sink, want 0", c)
+	}
+
+	// The timeline saw every live trial.
+	var ticks int64
+	for _, n := range snap.Timeline.Counts {
+		ticks += n
+	}
+	if ticks != trials {
+		t.Fatalf("timeline ticks = %d, want %d", ticks, trials)
+	}
+}
+
+// TestEngineObsNoMemo: with memoisation off the memo counters stay
+// silent and every trial recomputes its own prefix.
+func TestEngineObsNoMemo(t *testing.T) {
+	set := obs.NewSet(2)
+	res, err := (&Engine{Workers: 2, NoMemo: true, Obs: set}).Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := set.Snapshot()
+	if snap.Counters["memo_hits"] != 0 || snap.Counters["memo_misses"] != 0 {
+		t.Fatalf("memo counters with -no-memo: hits %d misses %d, want 0/0",
+			snap.Counters["memo_hits"], snap.Counters["memo_misses"])
+	}
+	if c := snap.Stages["generate"].Count; c != int64(len(res.Trials)) {
+		t.Fatalf("generate count = %d, want one per trial (%d)", c, len(res.Trials))
+	}
+}
+
+// TestEngineObsReplayed: resumed (Done) rows are counted as replayed
+// and are not re-observed by any pipeline stage.
+func TestEngineObsReplayed(t *testing.T) {
+	full, err := Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	half := append([]TrialResult(nil), full.Trials[:len(full.Trials)/2]...)
+	set := obs.NewSet(1)
+	res, err := (&Engine{Workers: 1, Done: half, Obs: set}).Run(smokeSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	snap := set.Snapshot()
+	if got := snap.Counters["replayed_trials"]; got != int64(len(half)) {
+		t.Fatalf("replayed_trials = %d, want %d", got, len(half))
+	}
+	live := int64(len(res.Trials) - len(half))
+	if got := snap.Counters["trials_accepted"] + snap.Counters["trials_rejected"]; got != live {
+		t.Fatalf("live outcome counts = %d, want only the %d non-replayed trials", got, live)
+	}
+}

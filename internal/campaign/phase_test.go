@@ -310,7 +310,7 @@ func TestAnalyzeErrorPropagates(t *testing.T) {
 
 		// The memoised path surfaces the same error.
 		cache := newPrefixCache([]Trial{tc.trial})
-		if _, err := cache.runTrial(tc.trial); err == nil || !strings.Contains(err.Error(), "badcase") {
+		if _, err := cache.runTrial(tc.trial, nil); err == nil || !strings.Contains(err.Error(), "badcase") {
 			t.Fatalf("%s: memoised path lost the analyze error: %v", tc.label, err)
 		}
 	}

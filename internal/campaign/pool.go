@@ -17,6 +17,16 @@ import (
 // replacement for the serial per-seed loops the evaluation binaries
 // used to hand-roll.
 func Map[T any](n, workers int, fn func(int) T) []T {
+	return mapWorkers(n, workers, func(_, i int) T { return fn(i) })
+}
+
+// mapWorkers is Map with the claiming worker's pool index (0-based,
+// stable for the worker's lifetime) passed alongside each work index —
+// the seam that lets the engine hand every worker its own telemetry
+// recorder without a lock or a sync.Pool on the claim path. Which
+// worker claims which index is scheduler-dependent; nothing
+// deterministic may depend on w.
+func mapWorkers[T any](n, workers int, fn func(w, i int) T) []T {
 	if n <= 0 {
 		return nil
 	}
@@ -31,16 +41,16 @@ func Map[T any](n, workers int, fn func(int) T) []T {
 	var wg sync.WaitGroup
 	wg.Add(workers)
 	for w := 0; w < workers; w++ {
-		go func() {
+		go func(w int) {
 			defer wg.Done()
 			for {
 				i := int(next.Add(1)) - 1
 				if i >= n {
 					return
 				}
-				out[i] = fn(i)
+				out[i] = fn(w, i)
 			}
-		}()
+		}(w)
 	}
 	wg.Wait()
 	return out

@@ -40,6 +40,7 @@ import (
 	"sync"
 
 	"repro/internal/campaign"
+	"repro/internal/obs"
 )
 
 const (
@@ -239,6 +240,19 @@ type Writer struct {
 	hdr       Header
 	unsynced  int
 	SyncEvery int // records between fsyncs; set before first Append
+
+	// Obs, when non-nil, receives journal telemetry: append and fsync
+	// latencies (obs.StageJournalAppend / StageJournalFsync) and the
+	// records/bytes/fsyncs counters. Set it before the first Append;
+	// a nil recorder is free. The journal bytes are identical either
+	// way — telemetry never touches the frame stream.
+	Obs *obs.Recorder
+
+	// RepairedTorn reports that Resume found and truncated a torn
+	// final record — the single repair a crash can require. It is
+	// informational (the dropped trial simply re-runs); callers
+	// surface it in run telemetry.
+	RepairedTorn bool
 }
 
 // Create starts a fresh journal at path, writing and syncing the
@@ -292,25 +306,34 @@ func (w *Writer) Append(r campaign.TrialResult) error {
 	if r.Index < w.hdr.Lo || r.Index >= w.hdr.Hi {
 		return fmt.Errorf("journal: trial %d outside shard range [%d,%d)", r.Index, w.hdr.Lo, w.hdr.Hi)
 	}
+	t0 := w.Obs.Clock()
 	payload, err := json.Marshal(r)
 	if err != nil {
 		return err
 	}
+	rec := frame(payload)
 	w.mu.Lock()
 	defer w.mu.Unlock()
 	if w.f == nil {
 		return fmt.Errorf("journal: append after close")
 	}
-	if _, err := w.f.Write(frame(payload)); err != nil {
+	if _, err := w.f.Write(rec); err != nil {
 		return fmt.Errorf("journal: appending trial %d: %w", r.Index, err)
 	}
+	w.Obs.Add(obs.CounterJournalRecords, 1)
+	w.Obs.Add(obs.CounterJournalBytes, int64(len(rec)))
 	w.unsynced++
 	if every := w.SyncEvery; every > 0 && w.unsynced >= every {
-		if err := w.f.Sync(); err != nil {
+		ts := w.Obs.Clock()
+		err := w.f.Sync()
+		w.Obs.Stamp(obs.StageJournalFsync, ts)
+		w.Obs.Add(obs.CounterJournalFsyncs, 1)
+		if err != nil {
 			return err
 		}
 		w.unsynced = 0
 	}
+	w.Obs.Stamp(obs.StageJournalAppend, t0)
 	return nil
 }
 
@@ -322,6 +345,7 @@ func (w *Writer) Sync() error {
 		return nil
 	}
 	w.unsynced = 0
+	w.Obs.Add(obs.CounterJournalFsyncs, 1)
 	return w.f.Sync()
 }
 
@@ -334,6 +358,7 @@ func (w *Writer) Close() error {
 	}
 	f := w.f
 	w.f = nil
+	w.Obs.Add(obs.CounterJournalFsyncs, 1)
 	if err := f.Sync(); err != nil {
 		f.Close()
 		return err
@@ -512,5 +537,5 @@ func Resume(path string, want Header) (*Writer, []campaign.TrialResult, error) {
 		f.Close()
 		return nil, nil, err
 	}
-	return &Writer{f: f, hdr: j.Header, SyncEvery: DefaultSyncEvery}, j.Rows, nil
+	return &Writer{f: f, hdr: j.Header, SyncEvery: DefaultSyncEvery, RepairedTorn: j.Torn}, j.Rows, nil
 }

@@ -1,0 +1,146 @@
+package journal
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// TestWriterObsCounters: the journal writer's telemetry accounts for
+// every append — record count, framed bytes on disk, and the fsync
+// cadence (one sync per SyncEvery appends, plus the one Close issues).
+func TestWriterObsCounters(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trial.jsonl")
+	hdr, err := NewHeader(testSpec(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, err := Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	set := obs.NewSet(1)
+	w.Obs = set.Aux()
+	w.SyncEvery = 4
+
+	spec := testSpec()
+	eng := &campaign.Engine{Workers: 2, Lo: hdr.Lo, Hi: hdr.Hi, Sink: w.Append, Obs: set}
+	res, err := eng.Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	snap := set.Snapshot()
+	n := int64(len(res.Trials))
+	if got := snap.Counters["journal_records"]; got != n {
+		t.Fatalf("journal_records = %d, want %d", got, n)
+	}
+	// Byte accounting covers the record frames exactly: file size minus
+	// the header line.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hdrLen := int64(bytes.IndexByte(data, '\n') + 1)
+	if got := snap.Counters["journal_bytes"]; got != int64(len(data))-hdrLen {
+		t.Fatalf("journal_bytes = %d, want file size %d minus header %d", got, len(data), hdrLen)
+	}
+	// 24 trials at SyncEvery=4 is 6 cadence syncs; Close adds one more.
+	if got := snap.Counters["journal_fsyncs"]; got != n/4+1 {
+		t.Fatalf("journal_fsyncs = %d, want %d cadence syncs + 1 on close", got, n/4)
+	}
+	// Appends were observed; fsync waits only on the appends that synced.
+	if c := snap.Stages["journal_append"].Count; c != n {
+		t.Fatalf("journal_append count = %d, want %d", c, n)
+	}
+	if c := snap.Stages["journal_fsync"].Count; c != n/4 {
+		t.Fatalf("journal_fsync count = %d, want the %d cadence syncs", c, n/4)
+	}
+}
+
+// TestWriterObsByteIdentity: attaching telemetry must not change a
+// single journal byte — the journal is part of the resume/merge
+// identity contract.
+func TestWriterObsByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	write := func(name string, rec *obs.Recorder) []byte {
+		t.Helper()
+		path := filepath.Join(dir, name)
+		hdr, err := NewHeader(testSpec(), 0, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w, err := Create(path, hdr)
+		if err != nil {
+			t.Fatal(err)
+		}
+		w.Obs = rec
+		eng := &campaign.Engine{Workers: 1, Lo: hdr.Lo, Hi: hdr.Hi, Sink: w.Append}
+		if _, err := eng.Run(testSpec()); err != nil {
+			t.Fatal(err)
+		}
+		if err := w.Close(); err != nil {
+			t.Fatal(err)
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return data
+	}
+	plain := write("plain.jsonl", nil)
+	observed := write("observed.jsonl", obs.NewSet(1).Aux())
+	if !bytes.Equal(plain, observed) {
+		t.Fatal("journal bytes differ with telemetry attached")
+	}
+}
+
+// TestResumeReportsTornRepair: the truncated-tail repair that Resume
+// performs is surfaced on the writer so the CLI can count it
+// (torn_repairs in the runinfo sidecar).
+func TestResumeReportsTornRepair(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "trial.jsonl")
+	runJournaled(t, path, 2, 0, 1)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lastLine := bytes.LastIndexByte(data[:len(data)-1], '\n') + 1
+	data[lastLine+20] ^= 0x01
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	hdr, err := NewHeader(testSpec(), 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	w, _, err := Resume(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !w.RepairedTorn {
+		t.Fatal("Resume repaired a torn tail but did not report it")
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// A clean resume must not claim a repair.
+	w2, _, err := Resume(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w2.RepairedTorn {
+		t.Fatal("clean resume reported a torn repair")
+	}
+	if err := w2.Close(); err != nil {
+		t.Fatal(err)
+	}
+}

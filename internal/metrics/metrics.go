@@ -38,8 +38,16 @@ func Collect(makespan model.Time, mem []model.Mem, load []model.Time, idleRatio 
 	}
 }
 
-// MemImbalance returns max/mean of the vector; 1 means perfectly even, 0
-// for an empty or all-zero vector.
+// MemImbalance returns max/mean of the vector: 1 means perfectly even,
+// larger means more concentrated, and every meaningful value is ≥ 1
+// (the max can never be below the mean).
+//
+// 0 is the degenerate-input sentinel — an empty or all-zero vector has
+// no mean to ratio against. It deliberately sits outside the meaningful
+// range so a "no memory placed anywhere" trial is distinguishable from
+// a perfectly balanced one; consumers that average imbalances (the
+// campaign aggregates, lbbench's reports) must not read 0 as "better
+// than even".
 func MemImbalance(v []model.Mem) float64 {
 	var sum, max model.Mem
 	for _, x := range v {
@@ -55,7 +63,11 @@ func MemImbalance(v []model.Mem) float64 {
 	return float64(max) / mean
 }
 
-// LoadImbalance returns max/mean of the busy-time vector.
+// LoadImbalance returns max/mean of the busy-time vector, with the
+// same convention as MemImbalance: 1 = perfectly even, meaningful
+// values are ≥ 1, and 0 is the degenerate-input sentinel for an empty
+// or all-idle vector (no processor ever ran anything), not a very good
+// balance.
 func LoadImbalance(v []model.Time) float64 {
 	var sum, max model.Time
 	for _, x := range v {

@@ -6,27 +6,47 @@ import (
 	"repro/internal/model"
 )
 
+// TestMemImbalance pins the max/mean ratio and its 0 sentinel: every
+// meaningful value is ≥ 1 (1 = perfectly even), and 0 is reserved for
+// degenerate inputs — empty or all-zero vectors — so "nothing placed"
+// can never masquerade as "better than even".
 func TestMemImbalance(t *testing.T) {
-	if got := MemImbalance([]model.Mem{10, 10, 10}); got != 1 {
-		t.Errorf("even vector imbalance = %v, want 1", got)
-	}
-	if got := MemImbalance([]model.Mem{30, 0, 0}); got != 3 {
-		t.Errorf("concentrated vector imbalance = %v, want 3", got)
-	}
-	if got := MemImbalance(nil); got != 0 {
-		t.Errorf("empty vector imbalance = %v, want 0", got)
-	}
-	if got := MemImbalance([]model.Mem{0, 0}); got != 0 {
-		t.Errorf("zero vector imbalance = %v, want 0", got)
+	for _, tc := range []struct {
+		name string
+		v    []model.Mem
+		want float64
+	}{
+		{"even vector is the meaningful minimum 1", []model.Mem{10, 10, 10}, 1},
+		{"fully concentrated equals the processor count", []model.Mem{30, 0, 0}, 3},
+		{"mild skew", []model.Mem{6, 2}, 1.5},
+		{"single processor is trivially even", []model.Mem{7}, 1},
+		{"nil vector hits the 0 sentinel", nil, 0},
+		{"empty vector hits the 0 sentinel", []model.Mem{}, 0},
+		{"all-zero vector hits the 0 sentinel", []model.Mem{0, 0}, 0},
+	} {
+		if got := MemImbalance(tc.v); got != tc.want {
+			t.Errorf("%s: MemImbalance(%v) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
 	}
 }
 
+// TestLoadImbalance: same convention as MemImbalance — ≥ 1 when
+// meaningful, 0 only for an empty or all-idle busy-time vector.
 func TestLoadImbalance(t *testing.T) {
-	if got := LoadImbalance([]model.Time{4, 4}); got != 1 {
-		t.Errorf("even loads = %v, want 1", got)
-	}
-	if got := LoadImbalance([]model.Time{8, 0}); got != 2 {
-		t.Errorf("one-sided loads = %v, want 2", got)
+	for _, tc := range []struct {
+		name string
+		v    []model.Time
+		want float64
+	}{
+		{"even loads are the meaningful minimum 1", []model.Time{4, 4}, 1},
+		{"one-sided loads equal the processor count", []model.Time{8, 0}, 2},
+		{"mild skew", []model.Time{9, 3}, 1.5},
+		{"nil vector hits the 0 sentinel", nil, 0},
+		{"all-idle vector hits the 0 sentinel", []model.Time{0, 0, 0}, 0},
+	} {
+		if got := LoadImbalance(tc.v); got != tc.want {
+			t.Errorf("%s: LoadImbalance(%v) = %v, want %v", tc.name, tc.v, got, tc.want)
+		}
 	}
 }
 

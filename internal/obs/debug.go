@@ -1,0 +1,48 @@
+package obs
+
+import (
+	"expvar"
+	"net"
+	"net/http"
+	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
+	"sync"
+)
+
+// publishMu serialises expvar registration; expvar.Publish panics on a
+// duplicate name, and tests (plus a CLI that restarts its server)
+// legitimately publish the same key twice.
+var publishMu sync.Mutex
+
+// Publish registers fn as the expvar variable `name`, replacing
+// nothing: a name that is already registered keeps its first function.
+func Publish(name string, fn func() any) {
+	publishMu.Lock()
+	defer publishMu.Unlock()
+	if expvar.Get(name) == nil {
+		expvar.Publish(name, expvar.Func(fn))
+	}
+}
+
+// Serve starts the live debug endpoint on addr (host:port; port 0
+// picks a free one): the default HTTP mux, which carries expvar's
+// /debug/vars — including every variable registered via Publish — and
+// net/http/pprof's /debug/pprof/ profile family. It returns the bound
+// address and a closer. The server runs until closed (or process
+// exit); a failed accept after close is expected and swallowed.
+//
+// This is the observation surface a campaign daemon or coordinator
+// scrapes: /debug/vars for per-stage latency and counters mid-run
+// (straggler detection), /debug/pprof/profile for a CPU profile of a
+// live sweep without restarting it under -cpuprofile.
+func Serve(addr string, vars map[string]func() any) (bound string, close func() error, err error) {
+	for name, fn := range vars {
+		Publish(name, fn)
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: http.DefaultServeMux}
+	go func() { _ = srv.Serve(ln) }()
+	return ln.Addr().String(), srv.Close, nil
+}

@@ -1,0 +1,124 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+)
+
+// RunInfoSchema versions the runinfo sidecar layout. Bump it when a
+// field is renamed or its meaning changes; adding fields is
+// backward-compatible and does not.
+const RunInfoSchema = 1
+
+// RunInfoSuffix is the sidecar filename suffix: a run named <name>
+// writes <name>+RunInfoSuffix next to its artifacts (or its shard
+// journal). Sidecars sit deliberately outside the artifact
+// byte-identity contract — they carry wall-clock latencies and host
+// facts that legitimately differ between byte-identical runs — so
+// determinism checks must diff the .json/.csv artifacts only, never
+// the sidecar.
+const RunInfoSuffix = ".runinfo.json"
+
+// Host describes where and with what a run executed.
+type Host struct {
+	Hostname   string `json:"hostname"`
+	OS         string `json:"os"`
+	Arch       string `json:"arch"`
+	CPUs       int    `json:"cpus"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	GoVersion  string `json:"go_version"`
+}
+
+// MemStats is the end-of-run allocator/GC summary (a projection of
+// runtime.MemStats, captured by Write).
+type MemStats struct {
+	HeapAllocBytes  uint64  `json:"heap_alloc_bytes"`
+	TotalAllocBytes uint64  `json:"total_alloc_bytes"`
+	SysBytes        uint64  `json:"sys_bytes"`
+	Mallocs         uint64  `json:"mallocs"`
+	NumGC           uint32  `json:"num_gc"`
+	GCPauseTotalNS  uint64  `json:"gc_pause_total_ns"`
+	GCCPUFraction   float64 `json:"gc_cpu_fraction"`
+}
+
+// RunInfo is the machine-readable sidecar one run writes next to its
+// artifacts: identity (tool, campaign name, spec hash, shard), scale
+// (trials, workers, elapsed), environment (host, Go build, GC/heap),
+// and the merged telemetry snapshot (per-stage latency distributions,
+// event counters, throughput timeline). docs/observability.md holds
+// the schema catalogue.
+type RunInfo struct {
+	Schema    int       `json:"schema"`
+	Tool      string    `json:"tool"`
+	Name      string    `json:"name"`
+	SpecHash  string    `json:"spec_hash"`
+	Shard     string    `json:"shard,omitempty"`
+	Trials    int       `json:"trials"`
+	Workers   int       `json:"workers"`
+	ElapsedNS int64     `json:"elapsed_ns"`
+	Host      Host      `json:"host"`
+	Mem       MemStats  `json:"mem"`
+	Obs       *Snapshot `json:"obs"`
+}
+
+// NewRunInfo starts a sidecar for the named tool with the host and
+// build facts filled in; the caller sets identity and scale and
+// attaches the snapshot before Write.
+func NewRunInfo(tool string) *RunInfo {
+	hostname, _ := os.Hostname()
+	return &RunInfo{
+		Schema: RunInfoSchema,
+		Tool:   tool,
+		Host: Host{
+			Hostname:   hostname,
+			OS:         runtime.GOOS,
+			Arch:       runtime.GOARCH,
+			CPUs:       runtime.NumCPU(),
+			GoMaxProcs: runtime.GOMAXPROCS(0),
+			GoVersion:  runtime.Version(),
+		},
+	}
+}
+
+// Finish stamps the elapsed time and captures the end-of-run GC/heap
+// stats. Call it once, after the run completes and before Write.
+func (ri *RunInfo) Finish(elapsed time.Duration) {
+	ri.ElapsedNS = int64(elapsed)
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	ri.Mem = MemStats{
+		HeapAllocBytes:  ms.HeapAlloc,
+		TotalAllocBytes: ms.TotalAlloc,
+		SysBytes:        ms.Sys,
+		Mallocs:         ms.Mallocs,
+		NumGC:           ms.NumGC,
+		GCPauseTotalNS:  ms.PauseTotalNs,
+		GCCPUFraction:   ms.GCCPUFraction,
+	}
+}
+
+// JSON renders the sidecar, indented, newline-terminated. Map keys are
+// sorted by encoding/json, so two sidecars over identical telemetry
+// render identically.
+func (ri *RunInfo) JSON() ([]byte, error) {
+	data, err := json.MarshalIndent(ri, "", "  ")
+	if err != nil {
+		return nil, err
+	}
+	return append(data, '\n'), nil
+}
+
+// Write renders the sidecar to path.
+func (ri *RunInfo) Write(path string) error {
+	data, err := ri.JSON()
+	if err != nil {
+		return fmt.Errorf("obs: encoding runinfo: %w", err)
+	}
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return fmt.Errorf("obs: writing runinfo: %w", err)
+	}
+	return nil
+}

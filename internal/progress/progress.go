@@ -1,13 +1,18 @@
 // Package progress renders lbfarm's periodic progress line. The rate
 // and ETA arithmetic lives here as pure functions of explicit counters
-// and an elapsed duration — the clock is injected, never read — so the
+// and an elapsed duration — the clock is injected, never read — and the
+// emit loop takes its tick and stop signals as channels, so the
 // resume-specific edge cases (journal-replayed trials must not inflate
-// the completion rate; no live trial yet means no ETA) are unit-tested
-// instead of riding untested behind a real 2-second ticker.
+// the completion rate; no live trial yet means no ETA) and the
+// termination guarantee (the last visible line is always the completed
+// 100% one, never a stale mid-interval tick) are unit-tested instead of
+// riding untested behind a real 2-second ticker.
 package progress
 
 import (
 	"fmt"
+	"sort"
+	"strings"
 	"time"
 )
 
@@ -40,4 +45,67 @@ func Line(done, ok, base, total int64, elapsed time.Duration) string {
 		eta = time.Duration(float64(total-done) / rate * float64(time.Second)).Round(time.Second).String()
 	}
 	return fmt.Sprintf("%d/%d trials (%.0f%%), accept %.0f%%, eta %s", done, total, 100*pct, 100*accept, eta)
+}
+
+// Loop is the progress emitter: one line per tick, and — always,
+// whether or not a tick ever fired — one final line when stop closes.
+// Every line is emitted from this single call, in order, so a tick
+// that fires just before cancellation can never print after (or
+// instead of) the completion line: the caller closes stop once the
+// final counters are in place, waits for Loop to return, and the last
+// visible line is the 100% one. Line text and the channels are both
+// injected, so short-run termination is unit-tested without a real
+// ticker (see TestLoopFinalLine).
+func Loop(tick <-chan time.Time, stop <-chan struct{}, line func() string, emit func(string)) {
+	for {
+		select {
+		case <-tick:
+			emit(line())
+		case <-stop:
+			emit(line())
+			return
+		}
+	}
+}
+
+// Breakdown renders a per-stage share suffix for the progress line
+// from total nanoseconds spent per stage: the top `top` stages by
+// share of the summed total, largest first, e.g.
+//
+//	balance 61% · schedule 22% · simulate 9%
+//
+// Stages with a zero total are dropped; with nothing observed yet (or
+// top < 1) it returns "". Ties break by name so the rendering is
+// deterministic.
+func Breakdown(totals map[string]int64, top int) string {
+	type share struct {
+		name string
+		ns   int64
+	}
+	var sum int64
+	shares := make([]share, 0, len(totals))
+	for name, ns := range totals {
+		if ns <= 0 {
+			continue
+		}
+		shares = append(shares, share{name, ns})
+		sum += ns
+	}
+	if sum == 0 || top < 1 {
+		return ""
+	}
+	sort.Slice(shares, func(i, j int) bool {
+		if shares[i].ns != shares[j].ns {
+			return shares[i].ns > shares[j].ns
+		}
+		return shares[i].name < shares[j].name
+	})
+	if len(shares) > top {
+		shares = shares[:top]
+	}
+	parts := make([]string, len(shares))
+	for i, s := range shares {
+		parts[i] = fmt.Sprintf("%s %.0f%%", s.name, 100*float64(s.ns)/float64(sum))
+	}
+	return strings.Join(parts, " · ")
 }

@@ -2,6 +2,7 @@ package progress
 
 import (
 	"strings"
+	"sync/atomic"
 	"testing"
 	"time"
 )
@@ -58,6 +59,90 @@ func TestLineComplete(t *testing.T) {
 	for _, want := range []string{"100/100", "(100%)", "accept 75%", "eta 0s"} {
 		if !strings.Contains(got, want) {
 			t.Fatalf("Line = %q, want %q in it", got, want)
+		}
+	}
+}
+
+// TestLoopFinalLine is the regression pin for the completion line: a
+// sweep shorter than the tick interval (no tick ever fires) must still
+// end with exactly one line, and that line must read 100% — the ticker
+// being cancelled mid-interval used to leave the last visible line at
+// whatever the previous tick saw (e.g. "97%" on short runs).
+func TestLoopFinalLine(t *testing.T) {
+	var got []string
+	tick := make(chan time.Time) // never fires
+	stop := make(chan struct{})
+	doneN := int64(37) // counters already at completion when stop closes
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		Loop(tick, stop, func() string {
+			return Line(doneN, doneN, 0, 37, 3*time.Second)
+		}, func(s string) { got = append(got, s) })
+	}()
+	close(stop)
+	<-done
+	if len(got) != 1 {
+		t.Fatalf("emitted %d lines %q, want exactly the final one", len(got), got)
+	}
+	if !strings.Contains(got[0], "37/37") || !strings.Contains(got[0], "(100%)") {
+		t.Fatalf("final line = %q, want the 100%% completion line", got[0])
+	}
+}
+
+// TestLoopFinalLineAfterTicks: ticks mid-run emit their snapshot, and
+// the completion line still arrives last, after every tick line — the
+// ordering half of the guarantee (all emits come from one goroutine).
+func TestLoopFinalLineAfterTicks(t *testing.T) {
+	var got []string
+	var doneN atomic.Int64
+	tick := make(chan time.Time)
+	stop := make(chan struct{})
+	done := make(chan struct{})
+	emitted := make(chan struct{}, 2)
+	go func() {
+		defer close(done)
+		Loop(tick, stop, func() string {
+			n := doneN.Load()
+			return Line(n, n, 0, 100, time.Second)
+		}, func(s string) { got = append(got, s); emitted <- struct{}{} })
+	}()
+	doneN.Store(97)
+	tick <- time.Time{} // the mid-interval tick: 97%
+	<-emitted           // tick line flushed before the counters advance
+	doneN.Store(100)
+	close(stop)
+	<-done
+	if len(got) != 2 {
+		t.Fatalf("emitted %d lines %q, want tick line + final line", len(got), got)
+	}
+	if !strings.Contains(got[0], "(97%)") {
+		t.Fatalf("tick line = %q, want the 97%% snapshot", got[0])
+	}
+	if !strings.Contains(got[1], "(100%)") {
+		t.Fatalf("last line = %q, want 100%% — the completion line must win", got[1])
+	}
+}
+
+// TestBreakdown: top-N stage shares, sorted by share then name, zero
+// totals dropped, empty when nothing was observed.
+func TestBreakdown(t *testing.T) {
+	for _, tc := range []struct {
+		name   string
+		totals map[string]int64
+		top    int
+		want   string
+	}{
+		{"empty", nil, 3, ""},
+		{"all zero", map[string]int64{"balance": 0}, 3, ""},
+		{"single", map[string]int64{"balance": 10}, 3, "balance 100%"},
+		{"sorted and trimmed",
+			map[string]int64{"balance": 60, "schedule": 25, "simulate": 10, "generate": 5},
+			3, "balance 60% · schedule 25% · simulate 10%"},
+		{"tie breaks by name", map[string]int64{"b": 50, "a": 50}, 2, "a 50% · b 50%"},
+	} {
+		if got := Breakdown(tc.totals, tc.top); got != tc.want {
+			t.Fatalf("%s: Breakdown = %q, want %q", tc.name, got, tc.want)
 		}
 	}
 }

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/core"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -19,6 +20,11 @@ import (
 // and merges the numbers into the JSON file named by BENCH_OUT under the
 // key named by BENCH_STAGE ("before" or "after"). Without BENCH_REPORT
 // the test is skipped, so normal `go test` runs stay fast.
+//
+// BENCH_OBS=1 runs every measured trial and sweep with telemetry
+// recorders attached — `scripts/bench.sh pr6` pairs an off stage with
+// an on stage in BENCH_pr6.json, so the speedup block reads as the
+// overhead ratio of the obs layer (budget: trial p50 within 2% of 1.0).
 func TestEmitBenchReport(t *testing.T) {
 	if os.Getenv("BENCH_REPORT") == "" {
 		t.Skip("set BENCH_REPORT=1 (via scripts/bench.sh) to emit the perf report")
@@ -31,6 +37,11 @@ func TestEmitBenchReport(t *testing.T) {
 	if stage != "before" && stage != "after" {
 		t.Fatalf("BENCH_STAGE must be before|after, got %q", stage)
 	}
+	var set *obs.Set
+	if os.Getenv("BENCH_OBS") == "1" {
+		set = obs.NewSet(0)
+	}
+	rec := set.Recorder(0)
 
 	cfg, procs := paperScaleConfig()
 	ts, ar := paperScaleInput(t)
@@ -59,7 +70,7 @@ func TestEmitBenchReport(t *testing.T) {
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	lat := measure(t, runs, func() {
-		if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK {
+		if r, err := campaign.RunTrialObserved(trial, rec); err != nil || r.Outcome != campaign.OutcomeOK {
 			t.Fatalf("outcome %q err %v", r.Outcome, err)
 		}
 	})
@@ -79,7 +90,7 @@ func TestEmitBenchReport(t *testing.T) {
 		Periods:     cfg.Periods,
 	}
 	t0 := time.Now()
-	res, err := campaign.Run(spec)
+	res, err := (&campaign.Engine{Obs: set}).Run(spec)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,23 +1,39 @@
 #!/bin/sh
-# scripts/bench.sh — emit the PR-2 performance report.
+# scripts/bench.sh — emit the performance reports.
 #
 # Usage:
-#   scripts/bench.sh before   # record the pre-refactor baseline
-#   scripts/bench.sh after    # record the post-refactor numbers + speedups
+#   scripts/bench.sh before   # record the PR-2 pre-refactor baseline
+#   scripts/bench.sh after    # record the PR-2 post-refactor numbers + speedups
+#   scripts/bench.sh pr6      # record the PR-6 telemetry-overhead pair
 #
-# Both stages merge into BENCH_pr2.json at the repo root (override with
-# BENCH_OUT). The report carries single-trial latency p50/p99,
+# before/after merge into BENCH_pr2.json at the repo root (override
+# with BENCH_OUT). The report carries single-trial latency p50/p99,
 # allocations per trial, per-stage p50s, and the wall-clock of one
 # paper-scale campaign sweep; once both stages are present the speedup
-# block is recomputed. The raw `go test -bench` lines for BenchmarkTrial
-# are echoed for the log.
+# block is recomputed. The raw `go test -bench` lines for
+# BenchmarkTrial are echoed for the log.
+#
+# pr6 measures the same quantities twice into BENCH_pr6.json —
+# "before" with telemetry recorders detached, "after" with them
+# attached (BENCH_OBS=1) — so its speedup block is the overhead ratio
+# of the internal/obs layer. Budget: trial p50 ratio ≥ 0.98 (< 2%
+# overhead).
 set -eu
 cd "$(dirname "$0")/.."
 
 stage="${1:-after}"
 case "$stage" in
 before|after) ;;
-*) echo "usage: $0 before|after" >&2; exit 2 ;;
+pr6)
+	out="${BENCH_OUT:-BENCH_pr6.json}"
+	go test -run '^$' -bench '^BenchmarkTrial$' -benchtime 5x .
+	BENCH_REPORT=1 BENCH_STAGE=before BENCH_OUT="$out" \
+		go test -run '^TestEmitBenchReport$' -v -count=1 .
+	BENCH_REPORT=1 BENCH_STAGE=after BENCH_OBS=1 BENCH_OUT="$out" \
+		go test -run '^TestEmitBenchReport$' -v -count=1 .
+	exit 0
+	;;
+*) echo "usage: $0 before|after|pr6" >&2; exit 2 ;;
 esac
 
 go test -run '^$' -bench '^BenchmarkTrial$' -benchtime 5x .

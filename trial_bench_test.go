@@ -8,6 +8,7 @@ import (
 	"repro/internal/core"
 	"repro/internal/gen"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/sched"
 )
 
@@ -58,6 +59,20 @@ func TestTrialAllocNeutral(t *testing.T) {
 	const maxAllocs = 710
 	if allocs > maxAllocs {
 		t.Fatalf("zero-analyzer trial allocates %.0f objects, cap %d — analyzer plumbing leaked into the fast path", allocs, maxAllocs)
+	}
+
+	// Telemetry must ride along for free: a recorder is a fixed block of
+	// atomics, so the observed trial stays under the same cap — within
+	// one object of the unobserved run — or the obs layer has started
+	// allocating on the hot path.
+	rec := obs.NewSet(1).Recorder(0)
+	observed := testing.AllocsPerRun(20, func() {
+		if r, err := campaign.RunTrialObserved(trial, rec); err != nil || r.Outcome != campaign.OutcomeOK {
+			t.Fatalf("outcome %q err %v", r.Outcome, err)
+		}
+	})
+	if observed > maxAllocs || observed > allocs+1 {
+		t.Fatalf("observed trial allocates %.0f objects vs %.0f unobserved (cap %d) — telemetry leaked onto the hot path", observed, allocs, maxAllocs)
 	}
 
 	// The analyzer path is the one allowed to pay: the same grid point
@@ -114,6 +129,21 @@ func BenchmarkTrial(b *testing.B) {
 		b.ResetTimer()
 		for i := 0; i < b.N; i++ {
 			if r, err := campaign.RunTrial(trial); err != nil || r.Outcome != campaign.OutcomeOK {
+				b.Fatalf("outcome %q err %v", r.Outcome, err)
+			}
+		}
+	})
+	// The observed variant bounds the telemetry overhead: the gap to
+	// end-to-end is the whole price of the per-stage recorders (a few
+	// clock reads and atomic adds per trial; budget < 2%).
+	b.Run("end-to-end-observed", func(b *testing.B) {
+		cfg, procs := paperScaleConfig()
+		trial := campaign.Trial{Cell: "bench", Gen: cfg, Procs: procs, Comm: 1}
+		rec := obs.NewSet(1).Recorder(0)
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if r, err := campaign.RunTrialObserved(trial, rec); err != nil || r.Outcome != campaign.OutcomeOK {
 				b.Fatalf("outcome %q err %v", r.Outcome, err)
 			}
 		}
