@@ -1,0 +1,250 @@
+// Command lbcoord is the fault-tolerant coordinator for distributed
+// campaigns: it splits one sweep into shard ranges, dispatches them to
+// lbfarm -worker processes over HTTP, and merges the collected shard
+// journals into artifacts byte-identical to a single-host run.
+//
+// Usage:
+//
+//	lbcoord -spec sweep.json -splits 12 -listen :8700
+//	lbcoord -tasks 100,200 -util 2,3 -procs 4,8 -seeds 50 -splits 8
+//	lbcoord -spec sweep.json -workers host1:9000,host2:9000   # dial directly
+//
+// Workers join by registering against -listen (the lbfarm -coord flag)
+// or are dialed directly from the static -workers list. The campaign
+// survives worker failure end to end: ranges lease with a liveness
+// timeout, failed ranges retry behind an exponential backoff with
+// jitter, stragglers are speculatively re-issued to idle workers (first
+// complete journal wins), and the pool may shrink to any non-empty
+// subset without changing a byte of the output. Fetched shard journals
+// double as the durable lease table — re-running an interrupted
+// lbcoord over the same -journal-dir re-issues only the missing
+// ranges. See docs/distributed.md.
+//
+// SIGINT/SIGTERM drain: running jobs are canceled (workers sync their
+// journal tails), fetched shards stay on disk, and the process exits
+// with code 3; re-run the same command to finish.
+//
+// GET /v1/status on -listen serves the live lease table, worker pool,
+// and fault counters as JSON.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/coord"
+	"repro/internal/model"
+)
+
+const exitInterrupted = 3
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbcoord: ")
+	var (
+		specPath = flag.String("spec", "", "JSON sweep specification (overrides the grid flags)")
+		name     = flag.String("name", "campaign", "campaign name (artifact basename)")
+		seeds    = flag.Int("seeds", 20, "seeds per grid cell")
+		seedBase = flag.Int64("seed-base", 0, "first seed")
+		tasks    = flag.String("tasks", "40", "comma-separated task counts")
+		util     = flag.String("util", "2.5", "comma-separated target utilisations")
+		procs    = flag.String("procs", "4", "comma-separated processor counts")
+		policies = flag.String("policies", "lexicographic", "comma-separated policies: lexicographic|ratio|memory-only")
+		periods  = flag.String("periods", "", "comma-separated harmonic period ladder (empty = generator default)")
+		comm     = flag.Int64("comm", 1, "inter-processor transfer time C")
+		anaFlag  = flag.String("analyzers", "", "comma-separated per-trial analyzers ('none' clears the spec's list)")
+		phases   = flag.String("analyzer-phases", "", "schedule phases the analyzers run over (after | before,after)")
+
+		splits     = flag.Int("splits", 0, "shard ranges to cut the sweep into (0 = 4 per static worker, minimum 8; more splits than workers lets the pool load-balance and re-issue cheaply)")
+		listen     = flag.String("listen", "127.0.0.1:0", "serve the control API (worker registration, /v1/status) on this host:port")
+		workersCSV = flag.String("workers", "", "comma-separated static worker addresses to dial directly (workers may also register themselves via lbfarm -coord)")
+		journalDir = flag.String("journal-dir", "journals", "directory for fetched shard journals — the durable lease table; re-running resumes from it")
+		out        = flag.String("out", "artifacts", "artifact directory")
+
+		liveness    = flag.Duration("liveness", 10*time.Second, "declare a worker dead after this long without a heartbeat or successful poll")
+		poll        = flag.Duration("poll", time.Second, "scheduler tick: status polls, dispatch, and straggler checks")
+		rpcTimeout  = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline for worker calls")
+		maxAttempts = flag.Int("max-attempts", 5, "per-range failure budget before the campaign fails loudly")
+		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "first retry delay for a failed range (doubles per failure)")
+		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "retry delay ceiling")
+		jitter      = flag.Float64("backoff-jitter", 0.2, "symmetric random jitter fraction on retry delays")
+
+		noSpec       = flag.Bool("no-speculate", false, "disable speculative re-issue of straggling ranges")
+		slowFactor   = flag.Float64("slow-factor", 2, "speculate a range projected past this multiple of the median completed-range duration")
+		minCompleted = flag.Int("min-completed", 1, "completed ranges required before the straggler baseline is trusted")
+		stallWindow  = flag.Duration("stall-window", 30*time.Second, "speculate a range whose worker's throughput timeline is flat for this long (0 disables the stall rule)")
+	)
+	flag.Parse()
+
+	var spec *campaign.Spec
+	if *specPath != "" {
+		s, err := campaign.LoadSpec(*specPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		spec = s
+	} else {
+		spec = &campaign.Spec{
+			Name:        *name,
+			Seeds:       *seeds,
+			SeedBase:    *seedBase,
+			Tasks:       ints(*tasks),
+			Utilization: floats(*util),
+			Procs:       ints(*procs),
+			Policies:    split(*policies),
+			Periods:     times(*periods),
+			CommTime:    model.Time(*comm),
+		}
+	}
+	if *anaFlag != "" {
+		if *anaFlag == "none" {
+			spec.Analyzers = nil
+		} else {
+			spec.Analyzers = split(*anaFlag)
+		}
+	}
+	if *phases != "" {
+		spec.AnalyzerPhases = split(*phases)
+	}
+	if err := spec.Normalize(); err != nil {
+		log.Fatal(err)
+	}
+	trials, err := spec.Trials()
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	static := split(*workersCSV)
+	n := *splits
+	if n == 0 {
+		n = 4 * len(static)
+		if n < 8 {
+			n = 8
+		}
+	}
+	if n > len(trials) {
+		n = len(trials)
+	}
+
+	c, err := coord.New(coord.Config{
+		Spec:            spec,
+		Splits:          n,
+		JournalDir:      *journalDir,
+		LivenessTimeout: *liveness,
+		Poll:            *poll,
+		RPCTimeout:      *rpcTimeout,
+		MaxAttempts:     *maxAttempts,
+		Backoff:         coord.Backoff{Base: *backoffBase, Max: *backoffMax, Jitter: *jitter},
+		Straggler: coord.StragglerPolicy{
+			Disabled:     *noSpec,
+			MinCompleted: *minCompleted,
+			SlowFactor:   *slowFactor,
+			StallWindow:  *stallWindow,
+		},
+		Logf: log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: c.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			log.Fatal(err)
+		}
+	}()
+	log.Printf("coordinating %q: %d trials in %d ranges; control API on http://%s/v1/status",
+		spec.Name, len(trials), n, ln.Addr())
+	for _, addr := range static {
+		c.Register(addr, addr)
+	}
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	res, err := c.Run(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	_ = srv.Shutdown(sctx)
+	scancel()
+	if errors.Is(err, context.Canceled) {
+		st := c.Stats()
+		fmt.Printf("interrupted: %d of %d ranges journaled under %s\nre-run the same command to finish — journaled ranges are not re-dispatched\n",
+			st.Journaled, n, *journalDir)
+		os.Exit(exitInterrupted)
+	}
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Print(res.Table())
+	jp, cp, err := res.WriteArtifacts(*out)
+	if err != nil {
+		log.Fatal(err)
+	}
+	st := c.Stats()
+	fmt.Printf("artifacts: %s %s\n", jp, cp)
+	fmt.Printf("fleet: %d registrations, %d deaths, %d dispatches, %d requeues, %d speculations, %d duplicates discarded\n",
+		st.Registered, st.DeadWorkers, st.Dispatches, st.Requeues, st.Speculations, st.DuplicatesDiscarded)
+}
+
+func split(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	for i := range parts {
+		parts[i] = strings.TrimSpace(parts[i])
+	}
+	return parts
+}
+
+func ints(s string) []int {
+	var out []int
+	for _, p := range split(s) {
+		v, err := strconv.Atoi(p)
+		if err != nil {
+			log.Fatalf("bad integer %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func floats(s string) []float64 {
+	var out []float64
+	for _, p := range split(s) {
+		v, err := strconv.ParseFloat(p, 64)
+		if err != nil {
+			log.Fatalf("bad float %q", p)
+		}
+		out = append(out, v)
+	}
+	return out
+}
+
+func times(s string) []model.Time {
+	var out []model.Time
+	for _, p := range split(s) {
+		v, err := strconv.ParseInt(p, 10, 64)
+		if err != nil {
+			log.Fatalf("bad period %q", p)
+		}
+		out = append(out, model.Time(v))
+	}
+	return out
+}

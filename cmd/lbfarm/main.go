@@ -11,6 +11,7 @@
 //	lbfarm -spec sweep.json -workers 16 -out artifacts
 //	lbfarm -spec sweep.json -journal journals/sweep.jsonl -resume -progress
 //	lbfarm -spec sweep.json -shard 2/3   # then lbmerge the shard journals
+//	lbfarm -worker -coord http://head:8700 -worker-dir /scratch/jobs
 //	lbfarm -tasks 100 -analyzers schedulability,moves,contention,reuse
 //	lbfarm -tasks 100 -analyzers contention,reuse -analyzer-phases before,after
 //
@@ -32,30 +33,52 @@
 // of the trial grid and writes a shard journal (the artifacts of a
 // sharded sweep come from lbmerge). See docs/journal.md.
 //
+// SIGINT/SIGTERM drain the sweep instead of killing it: in-flight
+// trials finish and reach the journal, the journal tail is synced, and
+// the process exits with code 3 after printing the resume command.
+//
+// With -worker, lbfarm serves jobs from an lbcoord coordinator instead
+// of running its own sweep: each job carries its spec and shard range,
+// is journaled under -worker-dir, and is collected by the coordinator
+// over HTTP (the worker also serves /debug/vars on its job port for the
+// coordinator's straggler detector). See docs/distributed.md.
+//
 // Artifacts: <out>/<name>.json (spec + per-cell aggregates + trials)
 // and <out>/<name>.csv (long-form aggregate table); the text summary
 // goes to stdout. See docs/campaign.md for the schema.
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"log"
+	"net"
+	"net/http"
 	"os"
+	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
 	"sync/atomic"
+	"syscall"
 	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/campaign/analyzers"
+	"repro/internal/coord"
 	"repro/internal/journal"
 	"repro/internal/model"
 	"repro/internal/obs"
 	"repro/internal/profiling"
 	"repro/internal/progress"
 )
+
+// Exit codes beyond the usual 0/1: a drained interrupt is not a
+// failure, and scripts (and the resume workflow) need to tell the two
+// apart.
+const exitInterrupted = 3
 
 // flushProfile stops any active pprof capture; every fatal exit routes
 // through it so -cpuprofile stays parseable even when the run aborts
@@ -103,6 +126,14 @@ func main() {
 		obsOn       = flag.Bool("obs", true, "collect run telemetry (per-stage latency, event counters) and write the runinfo sidecar; artifacts are byte-identical either way")
 		runinfoPath = flag.String("runinfo", "", "write the telemetry sidecar to this path (default <out>/<name>"+obs.RunInfoSuffix+", or next to the shard journal)")
 		debugAddr   = flag.String("debug-addr", "", "serve live debug endpoints (expvar /debug/vars with the obs snapshot, net/http/pprof /debug/pprof/) on this host:port; port 0 picks one")
+
+		workerMode = flag.Bool("worker", false, "serve mode: take jobs from an lbcoord coordinator instead of running a sweep (the grid/spec flags are ignored; the spec arrives with each job)")
+		listen     = flag.String("listen", "127.0.0.1:0", "worker mode: serve the job API on this host:port (port 0 picks one)")
+		advertise  = flag.String("advertise", "", "worker mode: address to register with the coordinator (default: the bound -listen address, with this host's name when unspecified)")
+		coordURL   = flag.String("coord", "", "worker mode: coordinator base URL to register with and heartbeat (empty = wait to be dialed directly)")
+		workerDir  = flag.String("worker-dir", "worker-journals", "worker mode: directory for per-job shard journals")
+		workerID   = flag.String("worker-id", "", "worker mode: stable worker identity (default host:pid)")
+		heartbeat  = flag.Duration("heartbeat", 2*time.Second, "worker mode: heartbeat interval to -coord")
 	)
 	flag.Parse()
 
@@ -111,6 +142,18 @@ func main() {
 		log.Fatal(err)
 	}
 	flushProfile = func() { stopProf() }
+
+	if *workerMode {
+		var set *obs.Set
+		if *obsOn {
+			set = obs.NewSet(*workers)
+		}
+		runWorker(*listen, *advertise, *coordURL, *workerDir, *workerID, *workers, *heartbeat, set)
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+		return
+	}
 
 	var spec *campaign.Spec
 	if *specPath != "" {
@@ -240,6 +283,25 @@ func main() {
 
 	eng := &campaign.Engine{Workers: *workers, NoMemo: *noMemo, Done: done, Lo: lo, Hi: hi, Obs: set}
 
+	// SIGINT/SIGTERM drain: workers stop claiming trials, in-flight
+	// trials finish and reach the journal, and the run exits with a
+	// distinct code and a ready-to-paste resume command. A second signal
+	// falls through to the default handler (immediate death) — that is
+	// what the journal's torn-tail recovery is for.
+	stop := make(chan struct{})
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		sig, ok := <-sigc
+		if !ok {
+			return
+		}
+		log.Printf("%v: draining — in-flight trials will finish and reach the journal (repeat to kill)", sig)
+		signal.Stop(sigc)
+		close(stop)
+	}()
+	eng.Stop = stop
+
 	// The sink both journals live trials and feeds the progress
 	// counters; it runs concurrently on every worker.
 	var doneN, okN atomic.Int64
@@ -269,6 +331,25 @@ func main() {
 	res, err := eng.Run(spec)
 	if stopProgress != nil {
 		stopProgress()
+	}
+	if errors.Is(err, campaign.ErrInterrupted) {
+		// Sync the journal tail before saying anything about resuming:
+		// the resume promise is only honest once the rows are on disk.
+		if w != nil {
+			if cerr := w.Close(); cerr != nil {
+				fatal(cerr)
+			}
+		}
+		if err := stopProf(); err != nil {
+			log.Fatal(err)
+		}
+		if path == "" {
+			log.Printf("interrupted after %d of %d trials; nothing was journaled (run with -journal to make interrupted sweeps resumable)", doneN.Load(), hi-lo)
+			os.Exit(exitInterrupted)
+		}
+		fmt.Printf("interrupted: %d of %d trials journaled to %s\nresume with: %s\n",
+			doneN.Load(), hi-lo, path, resumeCommand(os.Args, *resume))
+		os.Exit(exitInterrupted)
 	}
 	if err != nil {
 		fatal(err)
@@ -339,6 +420,80 @@ func writeRunInfo(path string, set *obs.Set, spec *campaign.Spec, shard string, 
 		fatal(err)
 	}
 	fmt.Printf("runinfo: %s\n", path)
+}
+
+// resumeCommand rebuilds the interrupted invocation as a ready-to-paste
+// resume: the same argv (spec, grid, journal, and shard flags carry the
+// sweep identity) plus -resume when it was not already there.
+func resumeCommand(argv []string, alreadyResume bool) string {
+	cmd := strings.Join(argv, " ")
+	if !alreadyResume {
+		cmd += " -resume"
+	}
+	return cmd
+}
+
+// runWorker is the -worker serve mode: stand up a coord.WorkerServer,
+// announce to the coordinator (when -coord is set), and serve jobs until
+// SIGINT/SIGTERM — then drain the running job (its journal tail synced,
+// ready for re-dispatch or resume) and exit cleanly.
+func runWorker(listen, advertise, coordURL, dir, id string, workers int, heartbeat time.Duration, set *obs.Set) {
+	ws, err := coord.NewWorkerServer(coord.WorkerConfig{
+		ID: id, Dir: dir, Workers: workers, Obs: set, Logf: log.Printf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	ln, err := net.Listen("tcp", listen)
+	if err != nil {
+		fatal(err)
+	}
+	addr, err := advertiseAddr(advertise, ln.Addr().String())
+	if err != nil {
+		fatal(err)
+	}
+	srv := &http.Server{Handler: ws.Handler()}
+	go func() {
+		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fatal(err)
+		}
+	}()
+	log.Printf("worker %s serving jobs on %s (advertised as %s)", ws.ID(), ln.Addr(), addr)
+
+	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer cancel()
+	if coordURL != "" {
+		go coord.Announce(ctx, coordURL, ws.ID(), addr, heartbeat, func() coord.WorkerStatus {
+			st, _ := ws.Status(context.Background(), "")
+			return st
+		}, log.Printf)
+	}
+	<-ctx.Done()
+	log.Printf("signal: draining — the running job's journal is synced for re-dispatch")
+	ws.Drain()
+	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer scancel()
+	_ = srv.Shutdown(sctx)
+}
+
+// advertiseAddr picks the address workers register under: the explicit
+// -advertise value, or the bound listen address with an unspecified host
+// (0.0.0.0/::) replaced by this host's name so the coordinator can dial
+// back across the cluster.
+func advertiseAddr(advertise, bound string) (string, error) {
+	if advertise != "" {
+		return advertise, nil
+	}
+	host, port, err := net.SplitHostPort(bound)
+	if err != nil {
+		return "", err
+	}
+	if ip := net.ParseIP(host); host == "" || (ip != nil && ip.IsUnspecified()) {
+		if host, err = os.Hostname(); err != nil {
+			return "", err
+		}
+	}
+	return net.JoinHostPort(host, port), nil
 }
 
 // parseShard reads "i/n" (1-based) into a 0-based shard index and the

@@ -1,0 +1,238 @@
+package main
+
+// Process-level fault tests: these re-exec the test binary as real
+// lbfarm processes (TestMain below) so signals, exit codes, and the
+// coordinator/worker HTTP plumbing are exercised exactly as deployed —
+// no in-process shortcuts on the paths whose whole point is surviving
+// process death.
+
+import (
+	"bytes"
+	"context"
+	"net/http/httptest"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"syscall"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/coord"
+)
+
+// TestMain lets the test binary impersonate the lbfarm CLI: a child
+// process started with LBFARM_BE_MAIN=1 runs main() on its argv instead
+// of the test suite.
+func TestMain(m *testing.M) {
+	if os.Getenv("LBFARM_BE_MAIN") == "1" {
+		main()
+		os.Exit(0)
+	}
+	os.Exit(m.Run())
+}
+
+// farm builds a re-exec'd lbfarm process (not started).
+func farm(t *testing.T, args ...string) (*exec.Cmd, *bytes.Buffer, *bytes.Buffer) {
+	t.Helper()
+	cmd := exec.Command(os.Args[0], args...)
+	cmd.Env = append(os.Environ(), "LBFARM_BE_MAIN=1")
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	return cmd, &stdout, &stderr
+}
+
+func waitUntil(t *testing.T, what string, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(60 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatalf("timed out waiting for %s", what)
+		}
+		time.Sleep(3 * time.Millisecond)
+	}
+}
+
+// grid is the shared sweep of these tests: big enough that a signal
+// reliably lands mid-run, small enough to finish promptly.
+func gridArgs(name, journal, out string) []string {
+	return []string{
+		"-name", name, "-tasks", "12", "-util", "1.5", "-procs", "2,3",
+		"-policies", "lexicographic,memory-only", "-seeds", "400",
+		"-workers", "2", "-journal", journal, "-out", out,
+	}
+}
+
+// TestInterruptDrainsAndResumes: SIGINT mid-sweep must drain (exit code
+// 3, journal tail synced, resume command printed), and resuming must
+// finish the sweep with artifacts byte-identical to an uninterrupted
+// run.
+func TestInterruptDrainsAndResumes(t *testing.T) {
+	dir := t.TempDir()
+	jpath := filepath.Join(dir, "sig.jsonl")
+	outDir := filepath.Join(dir, "out")
+
+	cmd, stdout, stderr := farm(t, gridArgs("sig", jpath, outDir)...)
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	// Wait for the journal to hold the header and at least one row, then
+	// interrupt.
+	waitUntil(t, "journaled rows", func() bool {
+		fi, err := os.Stat(jpath)
+		return err == nil && fi.Size() > 512
+	})
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	err := cmd.Wait()
+	ee, ok := err.(*exec.ExitError)
+	if !ok || ee.ExitCode() != exitInterrupted {
+		t.Fatalf("interrupted run: err %v (stderr: %s), want exit code %d", err, stderr, exitInterrupted)
+	}
+	if !strings.Contains(stdout.String(), "resume with: ") || !strings.Contains(stdout.String(), "-resume") {
+		t.Fatalf("no resume command printed; stdout: %s", stdout)
+	}
+	if !strings.Contains(stderr.String(), "draining") {
+		t.Fatalf("no drain notice; stderr: %s", stderr)
+	}
+
+	// Resume to completion.
+	cmd2, _, stderr2 := farm(t, append(gridArgs("sig", jpath, outDir), "-resume")...)
+	if err := cmd2.Run(); err != nil {
+		t.Fatalf("resumed run: %v (stderr: %s)", err, stderr2)
+	}
+	if !strings.Contains(stderr2.String(), "resuming") {
+		t.Fatalf("resumed run did not pick up the journal; stderr: %s", stderr2)
+	}
+
+	// Byte-identity against an uninterrupted run of the same sweep.
+	refDir := filepath.Join(dir, "ref")
+	cmd3, _, stderr3 := farm(t, gridArgs("sig", filepath.Join(dir, "ref.jsonl"), refDir)...)
+	if err := cmd3.Run(); err != nil {
+		t.Fatalf("reference run: %v (stderr: %s)", err, stderr3)
+	}
+	for _, f := range []string{"sig.json", "sig.csv"} {
+		got, err := os.ReadFile(filepath.Join(outDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want, err := os.ReadFile(filepath.Join(refDir, f))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Errorf("%s differs between the resumed and uninterrupted runs", f)
+		}
+	}
+}
+
+// TestDistributedWorkerSIGKILL is the acceptance scenario end to end: a
+// 3-worker campaign with one worker SIGKILLed mid-range must finish
+// unattended on the survivors and produce a merged result
+// byte-identical to a single-host run. Workers are real re-exec'd
+// lbfarm -worker processes joining over real HTTP; the coordinator runs
+// in-process so the test can watch its lease table.
+func TestDistributedWorkerSIGKILL(t *testing.T) {
+	spec := &campaign.Spec{
+		Name:        "dist",
+		Seeds:       120,
+		Tasks:       []int{60},
+		Utilization: []float64{2.5},
+		Procs:       []int{4},
+		Policies:    []string{"lexicographic"},
+	}
+	ref, err := (&campaign.Engine{Workers: 4}).Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refJSON, err := ref.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	c, err := coord.New(coord.Config{
+		Spec:            spec,
+		Splits:          4,
+		JournalDir:      t.TempDir(),
+		LivenessTimeout: 400 * time.Millisecond,
+		Poll:            25 * time.Millisecond,
+		RPCTimeout:      5 * time.Second,
+		MaxAttempts:     8,
+		Backoff:         coord.Backoff{Base: 20 * time.Millisecond, Max: 100 * time.Millisecond},
+		Straggler:       coord.StragglerPolicy{Disabled: true},
+		Logf:            t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(c.Handler())
+	defer hs.Close()
+
+	workers := map[string]*exec.Cmd{}
+	for _, id := range []string{"w1", "w2", "w3"} {
+		cmd, _, stderr := farm(t,
+			"-worker", "-listen", "127.0.0.1:0", "-coord", hs.URL,
+			"-worker-dir", t.TempDir(), "-worker-id", id,
+			"-heartbeat", "100ms", "-workers", "1")
+		if err := cmd.Start(); err != nil {
+			t.Fatal(err)
+		}
+		workers[id] = cmd
+		t.Cleanup(func() {
+			_ = cmd.Process.Kill()
+			_ = cmd.Wait()
+			if t.Failed() {
+				t.Logf("worker %s stderr:\n%s", id, stderr)
+			}
+		})
+	}
+	waitUntil(t, "3 registered workers", func() bool { return c.Workers() == 3 })
+
+	ctx, cancel := context.WithTimeout(context.Background(), 120*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var res *campaign.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = c.Run(ctx)
+	}()
+
+	// SIGKILL the first worker seen mid-range: it has journaled at least
+	// one trial of its lease and is nowhere near done.
+	var victim string
+	waitUntil(t, "a worker mid-range", func() bool {
+		for _, w := range c.Status().Workers {
+			if w.State == string(coord.JobRunning) && w.Done >= 1 && w.Done < w.Total {
+				victim = w.ID
+				return true
+			}
+		}
+		return false
+	})
+	if err := workers[victim].Process.Signal(syscall.SIGKILL); err != nil {
+		t.Fatal(err)
+	}
+	t.Logf("SIGKILLed %s mid-range", victim)
+
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	gotJSON, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotJSON, refJSON) {
+		t.Fatal("merged artifact differs from the single-host run")
+	}
+	st := c.Stats()
+	if st.DeadWorkers != 1 {
+		t.Errorf("dead workers = %d, want 1", st.DeadWorkers)
+	}
+	if st.Requeues < 1 {
+		t.Errorf("requeues = %d, want >= 1", st.Requeues)
+	}
+}

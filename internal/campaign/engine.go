@@ -1,6 +1,7 @@
 package campaign
 
 import (
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
@@ -31,6 +32,13 @@ const (
 	OutcomeBalanceError  = "balance-error"
 	OutcomeSimError      = "sim-error"
 )
+
+// ErrInterrupted is returned by Engine.Run when the Stop channel closed
+// before every trial completed. The run drained cleanly: no trial was
+// abandoned mid-flight, every finished trial reached the sink (and so
+// the journal), and the sweep is resumable from that journal. Callers
+// distinguish it from real failures with errors.Is.
+var ErrInterrupted = errors.New("campaign: run interrupted")
 
 // TrialResult is the analyzable outcome of one pipeline run. The
 // metric fields are emitted unconditionally — a measured zero (Gain=0
@@ -138,6 +146,14 @@ type Engine struct {
 	// enumeration (index/cell/seed agreement is validated).
 	Done []TrialResult
 
+	// Stop, when non-nil, is the drain signal: once it closes, workers
+	// stop claiming new trials, in-flight trials run to completion (and
+	// reach the Sink, so a journaling run loses nothing), and Run
+	// returns ErrInterrupted instead of a Result. This is the seam the
+	// CLIs hang SIGINT/SIGTERM handling on and the worker serve mode
+	// uses for job cancellation.
+	Stop <-chan struct{}
+
 	// Lo and Hi restrict the run to the half-open trial-index range
 	// [Lo,Hi) of the spec's enumeration — the multi-host sharding hook.
 	// Hi = 0 means "through the last trial". The default zero values
@@ -240,9 +256,18 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	}
 	e.Obs.Aux().Add(obs.CounterReplayedTrials, int64(len(e.Done)))
 	start := time.Now()
+	var interrupted atomic.Bool
 	live := mapWorkers(len(pending), workers, func(w, i int) TrialResult {
 		if aborted.Load() {
 			return TrialResult{Index: -1}
+		}
+		if e.Stop != nil {
+			select {
+			case <-e.Stop:
+				interrupted.Store(true)
+				return TrialResult{Index: -1}
+			default:
+			}
 		}
 		rec := e.Obs.Recorder(w)
 		var r TrialResult
@@ -279,6 +304,9 @@ func (e *Engine) Run(spec *Spec) (*Result, error) {
 	})
 	if runErr != nil {
 		return nil, fmt.Errorf("campaign: %w", runErr)
+	}
+	if interrupted.Load() {
+		return nil, ErrInterrupted
 	}
 	for _, r := range live {
 		results[r.Index-lo] = r

@@ -1,0 +1,424 @@
+package coord
+
+// Table stakes for a fault-tolerant control plane: every scenario here
+// injects a real fault — a worker killed mid-range, a network partition
+// healed after the liveness timeout, a speculated range completing
+// twice, a coordinator restart over a half-finished lease table — and
+// asserts the one invariant that matters: the merged artifact is
+// byte-identical to an uninterrupted single-host run.
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"net/http/httptest"
+	"os"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+func testSpec() *campaign.Spec {
+	return &campaign.Spec{
+		Name:        "chaos",
+		Seeds:       6,
+		Tasks:       []int{12},
+		Utilization: []float64{1.5},
+		Procs:       []int{2, 3},
+		Policies:    []string{"lexicographic", "memory-only"},
+	}
+}
+
+// refArtifacts is the single-host baseline every chaos run must match
+// byte for byte.
+func refArtifacts(t *testing.T) ([]byte, []byte) {
+	t.Helper()
+	res, err := (&campaign.Engine{Workers: 4}).Run(testSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return artifacts(t, res)
+}
+
+func artifacts(t *testing.T, res *campaign.Result) ([]byte, []byte) {
+	t.Helper()
+	data, err := res.JSON()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var csv bytes.Buffer
+	if err := res.WriteCSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	return data, csv.Bytes()
+}
+
+func checkArtifacts(t *testing.T, res *campaign.Result) {
+	t.Helper()
+	refJSON, refCSV := refArtifacts(t)
+	gotJSON, gotCSV := artifacts(t, res)
+	if !bytes.Equal(gotJSON, refJSON) {
+		t.Fatal("merged JSON differs from the single-host run")
+	}
+	if !bytes.Equal(gotCSV, refCSV) {
+		t.Fatal("merged CSV differs from the single-host run")
+	}
+}
+
+// newHTTPWorker stands up a real WorkerServer behind real HTTP and
+// returns the coordinator-side client for it.
+func newHTTPWorker(t *testing.T, id string, hooks Hooks, set *obs.Set) *Client {
+	t.Helper()
+	ws, err := NewWorkerServer(WorkerConfig{
+		ID: id, Dir: t.TempDir(), Workers: 2, Obs: set, Hooks: hooks,
+		Logf: func(format string, args ...any) { t.Logf("worker %s: "+format, append([]any{id}, args...)...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(ws.Handler())
+	t.Cleanup(hs.Close)
+	return NewClient(id, hs.URL)
+}
+
+// testConfig is the fast-twitch knob set the chaos tests share.
+func testConfig(t *testing.T, splits int) Config {
+	t.Helper()
+	return Config{
+		Spec:            testSpec(),
+		Splits:          splits,
+		JournalDir:      t.TempDir(),
+		LivenessTimeout: 300 * time.Millisecond,
+		Poll:            20 * time.Millisecond,
+		RPCTimeout:      5 * time.Second,
+		MaxAttempts:     8,
+		Backoff:         Backoff{Base: 10 * time.Millisecond, Max: 50 * time.Millisecond},
+		Straggler:       StragglerPolicy{Disabled: true},
+		Logf:            t.Logf,
+	}
+}
+
+// TestWorkerKilledMidRange: three workers, one dies (simulated SIGKILL:
+// job halts over a partial unsynced journal, all HTTP refused) after
+// two journaled trials. The pool must shrink, the orphaned range must
+// re-queue and finish on the survivors, and the artifact must not
+// betray that anything happened.
+func TestWorkerKilledMidRange(t *testing.T) {
+	cfg := testConfig(t, 4)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c.AddWorker(newHTTPWorker(t, "w1", Hooks{}, nil))
+	c.AddWorker(newHTTPWorker(t, "w2", Hooks{KillAfter: 2}, nil))
+	c.AddWorker(newHTTPWorker(t, "w3", Hooks{}, nil))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+
+	st := c.Stats()
+	if st.DeadWorkers != 1 {
+		t.Errorf("dead workers = %d, want 1", st.DeadWorkers)
+	}
+	if st.Requeues < 1 {
+		t.Errorf("requeues = %d, want >= 1", st.Requeues)
+	}
+	if got := c.Workers(); got != 2 {
+		t.Errorf("surviving pool = %d workers, want 2", got)
+	}
+	if st.Journaled != 4 {
+		t.Errorf("journaled ranges = %d, want 4", st.Journaled)
+	}
+}
+
+// flakyWorker wraps a Worker with a severable network: while down, every
+// RPC fails at the transport layer, but the wrapped worker keeps
+// running — exactly a partition, not a crash.
+type flakyWorker struct {
+	w    Worker
+	down atomic.Bool
+}
+
+func (f *flakyWorker) cut() error {
+	if f.down.Load() {
+		return errors.New("network partition")
+	}
+	return nil
+}
+func (f *flakyWorker) ID() string { return f.w.ID() }
+func (f *flakyWorker) Start(ctx context.Context, job Job) error {
+	if err := f.cut(); err != nil {
+		return err
+	}
+	return f.w.Start(ctx, job)
+}
+func (f *flakyWorker) Status(ctx context.Context, jobID string) (WorkerStatus, error) {
+	if err := f.cut(); err != nil {
+		return WorkerStatus{}, err
+	}
+	return f.w.Status(ctx, jobID)
+}
+func (f *flakyWorker) Cancel(ctx context.Context, jobID string) error {
+	if err := f.cut(); err != nil {
+		return err
+	}
+	return f.w.Cancel(ctx, jobID)
+}
+func (f *flakyWorker) Journal(ctx context.Context, jobID string) ([]byte, error) {
+	if err := f.cut(); err != nil {
+		return nil, err
+	}
+	return f.w.Journal(ctx, jobID)
+}
+func (f *flakyWorker) Snapshot(ctx context.Context) (*obs.Snapshot, error) {
+	if err := f.cut(); err != nil {
+		return nil, err
+	}
+	return f.w.Snapshot(ctx)
+}
+
+// TestHeartbeatLostThenRecovered: the only worker is partitioned away
+// long enough to be declared dead and its lease re-queued. When it
+// re-registers (the Announce path after a heal), the coordinator must
+// re-dispatch to it — idempotently, since the worker never stopped — and
+// finish with a byte-identical artifact.
+func TestHeartbeatLostThenRecovered(t *testing.T) {
+	cfg := testConfig(t, 1)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Hooks{SinkDelay: func(campaign.TrialResult) { time.Sleep(20 * time.Millisecond) }}
+	fw := &flakyWorker{w: newHTTPWorker(t, "w1", slow, nil)}
+	c.AddWorker(fw)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	done := make(chan struct{})
+	var res *campaign.Result
+	var runErr error
+	go func() {
+		defer close(done)
+		res, runErr = c.Run(ctx)
+	}()
+
+	// Wait for the dispatch, then cut the network until the coordinator
+	// declares the worker dead and re-queues its range.
+	waitFor(t, func() bool { return c.Stats().Dispatches >= 1 })
+	fw.down.Store(true)
+	waitFor(t, func() bool { return c.Stats().DeadWorkers == 1 })
+	if st := c.Stats(); st.Requeues != 1 {
+		t.Errorf("requeues after partition = %d, want 1", st.Requeues)
+	}
+	if got := c.Workers(); got != 0 {
+		t.Errorf("pool after partition = %d workers, want 0", got)
+	}
+
+	// Heal and re-register — what a worker's Announce loop does when its
+	// heartbeat comes back with known=false.
+	fw.down.Store(false)
+	c.AddWorker(fw)
+
+	<-done
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	checkArtifacts(t, res)
+	if st := c.Stats(); st.Registered != 2 {
+		t.Errorf("registrations = %d, want 2 (initial + rejoin)", st.Registered)
+	}
+}
+
+// fakeWorker is an in-process Worker with scripted answers, for driving
+// the scheduler's transitions deterministically.
+type fakeWorker struct {
+	id       string
+	st       WorkerStatus
+	journal  []byte
+	canceled atomic.Int64
+}
+
+func (f *fakeWorker) ID() string                       { return f.id }
+func (f *fakeWorker) Start(context.Context, Job) error { return nil }
+func (f *fakeWorker) Status(context.Context, string) (WorkerStatus, error) {
+	return f.st, nil
+}
+func (f *fakeWorker) Cancel(context.Context, string) error {
+	f.canceled.Add(1)
+	return nil
+}
+func (f *fakeWorker) Journal(context.Context, string) ([]byte, error) { return f.journal, nil }
+func (f *fakeWorker) Snapshot(context.Context) (*obs.Snapshot, error) { return nil, nil }
+
+// TestDuplicateCompletionOfReissuedRange: a speculated range completes
+// on both tenants in the same tick. Exactly one journal may land; the
+// other must be discarded, counted, and its worker canceled — and the
+// merge must still be byte-identical.
+func TestDuplicateCompletionOfReissuedRange(t *testing.T) {
+	cfg := testConfig(t, 1)
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The complete shard journal both fakes will hand back.
+	spec := testSpec()
+	hdr, err := journal.NewHeader(spec, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/full.jsonl"
+	w, err := journal.Create(path, hdr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	eng := &campaign.Engine{Workers: 4, Sink: w.Append}
+	if _, err := eng.Run(spec); err != nil {
+		t.Fatal(err)
+	}
+	if err := w.Close(); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	f1 := &fakeWorker{id: "a", journal: data}
+	f2 := &fakeWorker{id: "b", journal: data}
+	c.AddWorker(f1)
+	c.AddWorker(f2)
+
+	// Seat both fakes on the one lease, the state a speculative re-issue
+	// leaves behind, both reporting done.
+	c.mu.Lock()
+	l := c.leases[0]
+	jid := c.jobID(l.rng)
+	l.state = StateLeased
+	l.workers["a"], l.workers["b"] = jid, jid
+	l.speculated = true
+	l.started = time.Now()
+	c.workers["a"].lease = 0
+	c.workers["b"].lease = 0
+	c.mu.Unlock()
+	st := WorkerStatus{JobID: jid, State: JobDone, Done: hdr.Hi - hdr.Lo, Total: hdr.Hi - hdr.Lo}
+	f1.st, f2.st = st, st
+
+	c.step(context.Background())
+
+	stats := c.Stats()
+	if stats.Journaled != 1 {
+		t.Fatalf("journaled = %d, want 1", stats.Journaled)
+	}
+	if stats.DuplicatesDiscarded != 1 {
+		t.Errorf("duplicates discarded = %d, want 1", stats.DuplicatesDiscarded)
+	}
+	if f1.canceled.Load()+f2.canceled.Load() == 0 {
+		t.Error("the losing twin was never canceled")
+	}
+	res, err := c.merge()
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+}
+
+// TestCoordinatorRestartOverHalfFinishedTable: a coordinator is killed
+// (context cancel) once half the ranges are journaled. A fresh
+// coordinator over the same journal directory must recover those ranges
+// from disk, re-issue only the missing ones, and finish byte-identical.
+func TestCoordinatorRestartOverHalfFinishedTable(t *testing.T) {
+	cfg := testConfig(t, 4)
+	c1, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Hooks{SinkDelay: func(campaign.TrialResult) { time.Sleep(5 * time.Millisecond) }}
+	c1.AddWorker(newHTTPWorker(t, "w1", slow, nil))
+
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = c1.Run(ctx1)
+	}()
+	waitFor(t, func() bool { return c1.Stats().Journaled >= 2 })
+	cancel1()
+	<-done
+
+	recovered := c1.Stats().Journaled
+	c2, err := New(cfg) // same JournalDir: the durable lease table
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := c2.Stats()
+	if st.RecoveredJournals < 2 {
+		t.Fatalf("recovered journals = %d, want >= 2", st.RecoveredJournals)
+	}
+	if st.RecoveredJournals < recovered {
+		t.Errorf("recovered %d journals, first coordinator had landed %d", st.RecoveredJournals, recovered)
+	}
+	c2.AddWorker(newHTTPWorker(t, "w2", Hooks{}, nil))
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	res, err := c2.Run(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+	if got := c2.Stats().Dispatches; got != 4-st.RecoveredJournals {
+		t.Errorf("second coordinator dispatched %d ranges, want %d (only the missing ones)",
+			got, 4-st.RecoveredJournals)
+	}
+}
+
+// TestStragglerSpeculativeReissue: one of two workers crawls (injected
+// sink latency). Once the fast worker establishes the baseline, the
+// coordinator must speculate the crawling range onto it, take the
+// twin's journal, cancel the straggler, and stay byte-identical.
+func TestStragglerSpeculativeReissue(t *testing.T) {
+	cfg := testConfig(t, 2)
+	cfg.Straggler = StragglerPolicy{MinCompleted: 1, SlowFactor: 2}
+	c, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	slow := Hooks{SinkDelay: func(campaign.TrialResult) { time.Sleep(75 * time.Millisecond) }}
+	// The slow worker carries telemetry so the speculation path exercises
+	// the snapshot scrape and classification.
+	c.AddWorker(newHTTPWorker(t, "w-slow", slow, obs.NewSet(2)))
+	c.AddWorker(newHTTPWorker(t, "w-fast", Hooks{}, nil))
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := c.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+	if st := c.Stats(); st.Speculations < 1 {
+		t.Errorf("speculations = %d, want >= 1", st.Speculations)
+	}
+}
+
+// waitFor polls cond at the chaos tests' tick rate until it holds.
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached in 30s")
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}

@@ -1,0 +1,358 @@
+package coord
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+)
+
+// Config parameterises a Coordinator. Spec, Splits, and JournalDir are
+// required; every knob has a serviceable default.
+type Config struct {
+	// Spec is the campaign to run; it is normalised in place.
+	Spec *campaign.Spec
+
+	// Splits is how many shard ranges to cut the sweep into. More
+	// splits than workers is the point: small ranges re-issue cheaply
+	// and let the pool load-balance itself.
+	Splits int
+
+	// JournalDir receives the fetched shard journals — and doubles as
+	// the durable lease table: a restarted coordinator re-reads it and
+	// only re-issues ranges whose journal is missing.
+	JournalDir string
+
+	// LivenessTimeout declares a worker dead when neither a push
+	// heartbeat nor a successful status poll has been seen for this
+	// long (default 10s).
+	LivenessTimeout time.Duration
+
+	// Poll is the scheduler tick: status polls, liveness checks,
+	// dispatch, and straggler checks happen each tick (default 1s).
+	Poll time.Duration
+
+	// RPCTimeout bounds each worker RPC (default 5s).
+	RPCTimeout time.Duration
+
+	// MaxAttempts is the per-range failure budget; exhausting it fails
+	// the campaign loudly (default 5).
+	MaxAttempts int
+
+	// Backoff is the re-queue delay curve (default DefaultBackoff).
+	Backoff Backoff
+
+	// Straggler is the speculative re-issue policy.
+	Straggler StragglerPolicy
+
+	// Dial builds a Worker handle from a registration (default: the
+	// HTTP Client). Tests inject fault-wrapped handles here.
+	Dial func(id, addr string) Worker
+
+	// Logf receives the coordinator's event log (nil = silent).
+	Logf func(format string, args ...any)
+
+	// jitter is the backoff jitter source; tests may zero Backoff.Jitter
+	// instead, so this stays unexported and defaults to math/rand.
+	jitter func() float64
+}
+
+// Stats counts the control plane's fault-handling events; the chaos
+// tests assert on them and the status surfaces publish them.
+type Stats struct {
+	Registered          int `json:"workers_registered"`
+	DeadWorkers         int `json:"workers_dead"`
+	Dispatches          int `json:"dispatches"`
+	Requeues            int `json:"requeues"`
+	Speculations        int `json:"speculations"`
+	DuplicatesDiscarded int `json:"duplicates_discarded"`
+	Journaled           int `json:"ranges_journaled"`
+	RecoveredJournals   int `json:"recovered_journals"`
+}
+
+// WorkerView is the exported snapshot of one registered worker.
+type WorkerView struct {
+	ID           string `json:"id"`
+	Job          string `json:"job,omitempty"`
+	State        string `json:"state,omitempty"`
+	Done         int    `json:"done"`
+	Total        int    `json:"total"`
+	LastSeenMS   int64  `json:"last_seen_ms"` // age of last contact
+	RangeLeased  int    `json:"range_leased"` // -1 when idle
+	Unresponsive bool   `json:"unresponsive,omitempty"`
+}
+
+// StatusSnapshot is the coordinator's full observable state, served on
+// /v1/status and published on the expvar surface.
+type StatusSnapshot struct {
+	Name     string       `json:"name"`
+	SpecHash string       `json:"spec_hash"`
+	Trials   int          `json:"trials"`
+	Splits   int          `json:"splits"`
+	Leases   []LeaseView  `json:"leases"`
+	Workers  []WorkerView `json:"workers"`
+	Stats    Stats        `json:"stats"`
+}
+
+// workerState is the coordinator's book on one registered worker.
+type workerState struct {
+	w        Worker
+	lastSeen time.Time
+	status   WorkerStatus
+	lease    int // index into leases, -1 when idle
+}
+
+// Coordinator owns the lease table and drives the campaign to a merged
+// result. Construct with New, feed it workers via Register/AddWorker
+// (typically through the HTTP Server), then Run.
+type Coordinator struct {
+	cfg      Config
+	specHash string
+	total    int
+
+	mu      sync.Mutex
+	leases  []*lease
+	workers map[string]*workerState
+	stats   Stats
+	fatal   error
+}
+
+// New validates the config, cuts the spec into ranges, and recovers the
+// lease table from any shard journals already in JournalDir.
+func New(cfg Config) (*Coordinator, error) {
+	if cfg.Spec == nil {
+		return nil, fmt.Errorf("coord: no spec")
+	}
+	if err := cfg.Spec.Normalize(); err != nil {
+		return nil, err
+	}
+	hash, err := cfg.Spec.Hash()
+	if err != nil {
+		return nil, err
+	}
+	trials, err := cfg.Spec.Trials()
+	if err != nil {
+		return nil, err
+	}
+	if cfg.Splits < 1 {
+		return nil, fmt.Errorf("coord: splits %d < 1", cfg.Splits)
+	}
+	if cfg.Splits > len(trials) {
+		return nil, fmt.Errorf("coord: %d splits over a %d-trial sweep leaves empty ranges — use at most %d", cfg.Splits, len(trials), len(trials))
+	}
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("coord: no journal directory")
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.LivenessTimeout <= 0 {
+		cfg.LivenessTimeout = 10 * time.Second
+	}
+	if cfg.Poll <= 0 {
+		cfg.Poll = time.Second
+	}
+	if cfg.RPCTimeout <= 0 {
+		cfg.RPCTimeout = 5 * time.Second
+	}
+	if cfg.MaxAttempts <= 0 {
+		cfg.MaxAttempts = 5
+	}
+	if cfg.Backoff == (Backoff{}) {
+		cfg.Backoff = DefaultBackoff()
+	}
+	if cfg.Dial == nil {
+		cfg.Dial = func(id, addr string) Worker { return NewClient(id, addr) }
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.jitter == nil {
+		cfg.jitter = jitterDraw
+	}
+
+	c := &Coordinator{cfg: cfg, specHash: hash, total: len(trials), workers: map[string]*workerState{}}
+	for i := 0; i < cfg.Splits; i++ {
+		lo, hi := journal.ShardRange(len(trials), i, cfg.Splits)
+		c.leases = append(c.leases, &lease{
+			rng:     Range{Index: i, Count: cfg.Splits, Lo: lo, Hi: hi},
+			workers: map[string]string{},
+		})
+	}
+	if err := c.recover(); err != nil {
+		return nil, err
+	}
+	return c, nil
+}
+
+// shardPath is the on-disk name of one range's journal, matching the
+// `lbfarm -shard` convention so the files remain lbmerge-compatible.
+func (c *Coordinator) shardPath(r Range) string {
+	return filepath.Join(c.cfg.JournalDir, fmt.Sprintf("%s.shard%dof%d.jsonl", c.cfg.Spec.Name, r.Index+1, r.Count))
+}
+
+// jobID names the dispatchable job for a range. It is attempt-stable on
+// purpose: a re-issue to a worker holding a partial journal for the
+// same job resumes it instead of starting over.
+func (c *Coordinator) jobID(r Range) string {
+	return fmt.Sprintf("%.12s-shard%dof%d", c.specHash, r.Index+1, r.Count)
+}
+
+// recover seats already-fetched shard journals as journaled leases — a
+// restarted coordinator resumes exactly where the files say it was. Any
+// journal that does not verify against this campaign is a hard error:
+// silently re-running it would mask a corrupted or foreign file.
+func (c *Coordinator) recover() error {
+	for _, l := range c.leases {
+		path := c.shardPath(l.rng)
+		if _, err := os.Stat(path); err != nil {
+			if os.IsNotExist(err) {
+				continue
+			}
+			return err
+		}
+		j, err := journal.Read(path)
+		if err != nil {
+			return fmt.Errorf("coord: recovering lease table: %w — delete the file to re-run its range", err)
+		}
+		if err := c.verifyShard(j, l.rng, path); err != nil {
+			return fmt.Errorf("%w — delete the file to re-run its range", err)
+		}
+		l.state = StateJournaled
+		l.path = path
+		c.stats.Journaled++
+		c.stats.RecoveredJournals++
+		c.cfg.Logf("recovered shard %d/%d from %s", l.rng.Index+1, l.rng.Count, path)
+	}
+	return nil
+}
+
+// verifyShard checks a decoded journal is the complete, correct journal
+// for one of this campaign's ranges.
+func (c *Coordinator) verifyShard(j *journal.Journal, r Range, name string) error {
+	if !j.HeaderOK {
+		return fmt.Errorf("coord: %s has no intact header", name)
+	}
+	h := j.Header
+	if h.SpecHash != c.specHash {
+		return fmt.Errorf("coord: %s carries spec %.12s…, campaign is %.12s…", name, h.SpecHash, c.specHash)
+	}
+	if h.ShardIndex != r.Index || h.ShardCount != r.Count || h.Lo != r.Lo || h.Hi != r.Hi || h.Total != c.total {
+		return fmt.Errorf("coord: %s covers shard %d/%d [%d,%d), expected %d/%d [%d,%d)",
+			name, h.ShardIndex+1, h.ShardCount, h.Lo, h.Hi, r.Index+1, r.Count, r.Lo, r.Hi)
+	}
+	if !j.Complete() {
+		return fmt.Errorf("coord: %s covers only %d of %d trials", name, len(j.Rows), r.Hi-r.Lo)
+	}
+	return nil
+}
+
+// Register adds (or replaces) a worker from a registration: the handle
+// is built by cfg.Dial. A re-registration under a known ID replaces the
+// handle — the worker restarted or moved — and any lease the old
+// incarnation held is re-queued by the next status poll, which will
+// find the job gone.
+func (c *Coordinator) Register(id, addr string) {
+	c.AddWorker(c.cfg.Dial(id, addr))
+}
+
+// AddWorker registers a ready-made worker handle.
+func (c *Coordinator) AddWorker(w Worker) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	id := w.ID()
+	if prev, ok := c.workers[id]; ok {
+		prev.w = w
+		prev.lastSeen = time.Now()
+		c.cfg.Logf("worker %s re-registered", id)
+		return
+	}
+	c.workers[id] = &workerState{w: w, lastSeen: time.Now(), lease: -1}
+	c.stats.Registered++
+	c.cfg.Logf("worker %s registered (%d in pool)", id, len(c.workers))
+}
+
+// Observe ingests a push heartbeat: freshens liveness and records the
+// worker's self-reported status. State transitions happen only on the
+// scheduler tick, so heartbeats can arrive at any rate without racing
+// the lease table. Returns false for an unknown worker (it should
+// re-register).
+func (c *Coordinator) Observe(id string, st WorkerStatus) bool {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	ws, ok := c.workers[id]
+	if !ok {
+		return false
+	}
+	ws.lastSeen = time.Now()
+	ws.status = st
+	return true
+}
+
+// Workers returns the live pool size.
+func (c *Coordinator) Workers() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return len(c.workers)
+}
+
+// Stats returns a copy of the fault-handling counters.
+func (c *Coordinator) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.stats
+}
+
+// Status snapshots the full control-plane state.
+func (c *Coordinator) Status() StatusSnapshot {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+	s := StatusSnapshot{
+		Name:     c.cfg.Spec.Name,
+		SpecHash: c.specHash,
+		Trials:   c.total,
+		Splits:   c.cfg.Splits,
+		Stats:    c.stats,
+	}
+	for _, l := range c.leases {
+		ids := make([]string, 0, len(l.workers))
+		for id := range l.workers {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		s.Leases = append(s.Leases, LeaseView{
+			Range:      l.rng,
+			State:      l.state.String(),
+			Workers:    ids,
+			Dispatches: l.dispatches,
+			Failures:   l.failures,
+			LastErr:    l.lastErr,
+			Path:       l.path,
+		})
+	}
+	ids := make([]string, 0, len(c.workers))
+	for id := range c.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		ws := c.workers[id]
+		s.Workers = append(s.Workers, WorkerView{
+			ID:           id,
+			Job:          ws.status.JobID,
+			State:        string(ws.status.State),
+			Done:         ws.status.Done,
+			Total:        ws.status.Total,
+			LastSeenMS:   now.Sub(ws.lastSeen).Milliseconds(),
+			RangeLeased:  ws.lease,
+			Unresponsive: now.Sub(ws.lastSeen) > c.cfg.LivenessTimeout/2,
+		})
+	}
+	return s
+}

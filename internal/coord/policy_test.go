@@ -1,0 +1,179 @@
+package coord
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+func TestBackoffDelay(t *testing.T) {
+	b := Backoff{Base: 100 * time.Millisecond, Max: time.Second}
+	cases := []struct {
+		failures int
+		want     time.Duration
+	}{
+		{0, 0}, // no failures yet: retry immediately
+		{1, 100 * time.Millisecond},
+		{2, 200 * time.Millisecond},
+		{3, 400 * time.Millisecond},
+		{4, 800 * time.Millisecond},
+		{5, time.Second}, // capped
+		{50, time.Second},
+	}
+	for _, c := range cases {
+		if got := b.Delay(c.failures, nil); got != c.want {
+			t.Errorf("Delay(%d) = %v, want %v", c.failures, got, c.want)
+		}
+	}
+	if got := (Backoff{}).Delay(3, nil); got != 0 {
+		t.Errorf("zero Backoff delay = %v, want 0", got)
+	}
+}
+
+func TestBackoffJitterBounds(t *testing.T) {
+	b := Backoff{Base: time.Second, Max: time.Minute, Jitter: 0.5}
+	// rnd 0 is the extreme low draw, rnd→1 the extreme high.
+	if got := b.Delay(1, func() float64 { return 0 }); got != 500*time.Millisecond {
+		t.Errorf("low draw = %v, want 500ms", got)
+	}
+	if got := b.Delay(1, func() float64 { return 1 }); got != 1500*time.Millisecond {
+		t.Errorf("high draw = %v, want 1.5s", got)
+	}
+	// Jitter can never push a delay negative.
+	tiny := Backoff{Base: time.Nanosecond, Max: time.Nanosecond, Jitter: 10}
+	if got := tiny.Delay(1, func() float64 { return 0 }); got < 0 {
+		t.Errorf("jittered delay went negative: %v", got)
+	}
+}
+
+func TestProjectTotal(t *testing.T) {
+	if _, ok := projectTotal(time.Second, 0, 10); ok {
+		t.Error("no progress should project nothing")
+	}
+	if got, ok := projectTotal(2*time.Second, 5, 10); !ok || got != 4*time.Second {
+		t.Errorf("projectTotal(2s, 5/10) = %v %v, want 4s true", got, ok)
+	}
+	// done > total (replayed rows can overshoot transiently) clamps.
+	if got, ok := projectTotal(time.Second, 20, 10); !ok || got != time.Second {
+		t.Errorf("overshoot projection = %v %v, want 1s true", got, ok)
+	}
+}
+
+func TestShouldSpeculate(t *testing.T) {
+	p := StragglerPolicy{}
+	base := []time.Duration{time.Second, 2 * time.Second, 3 * time.Second}
+	if !p.ShouldSpeculate(5*time.Second, base) {
+		t.Error("5s projected vs 2s median should speculate")
+	}
+	if p.ShouldSpeculate(3*time.Second, base) {
+		t.Error("3s projected vs 2s median is within 2x, no speculation")
+	}
+	if p.ShouldSpeculate(time.Hour, nil) {
+		t.Error("no completed baseline, no speculation")
+	}
+	if (StragglerPolicy{Disabled: true}).ShouldSpeculate(time.Hour, base) {
+		t.Error("disabled policy speculated")
+	}
+	strict := StragglerPolicy{MinCompleted: 5}
+	if strict.ShouldSpeculate(time.Hour, base) {
+		t.Error("MinCompleted 5 with 3 samples speculated")
+	}
+}
+
+func TestStalled(t *testing.T) {
+	p := StragglerPolicy{StallWindow: 100 * time.Millisecond}
+	mk := func(elapsed time.Duration, counts ...int64) *obs.Snapshot {
+		return &obs.Snapshot{
+			ElapsedNS: int64(elapsed),
+			Timeline:  obs.Timeline{WidthNS: int64(10 * time.Millisecond), Counts: counts},
+		}
+	}
+	// Last completion in slot 0 ([0,10ms)), 500ms elapsed: stalled.
+	if !p.Stalled(mk(500*time.Millisecond, 3)) {
+		t.Error("flat timeline past the window not reported stalled")
+	}
+	// Completion 10ms ago: within the window.
+	if p.Stalled(mk(60*time.Millisecond, 1, 0, 0, 0, 2)) {
+		t.Error("recent completion reported stalled")
+	}
+	// No completions ever: never stalled (the range may still be warming up).
+	if p.Stalled(mk(time.Hour)) {
+		t.Error("empty timeline reported stalled")
+	}
+	if p.Stalled(nil) {
+		t.Error("nil snapshot reported stalled")
+	}
+	if (StragglerPolicy{}).Stalled(mk(time.Hour, 1)) {
+		t.Error("zero StallWindow reported stalled")
+	}
+}
+
+func TestClassify(t *testing.T) {
+	snap := func(stages map[string]int64) *obs.Snapshot {
+		s := &obs.Snapshot{Stages: map[string]obs.StageStats{}}
+		for name, ns := range stages {
+			s.Stages[name] = obs.StageStats{TotalNS: ns, Count: 1}
+		}
+		return s
+	}
+	got := Classify(snap(map[string]int64{"balance": 600, "journal_fsync": 400}))
+	if got != "compute-bound (balance 60%)" {
+		t.Errorf("Classify compute case = %q", got)
+	}
+	got = Classify(snap(map[string]int64{"balance": 200, "journal_fsync": 800}))
+	if got != "fsync-bound (journal_fsync 80%)" {
+		t.Errorf("Classify fsync case = %q", got)
+	}
+	if got = Classify(nil); !strings.Contains(got, "unclassified") {
+		t.Errorf("Classify(nil) = %q", got)
+	}
+	if got = Classify(snap(map[string]int64{})); !strings.Contains(got, "unclassified") {
+		t.Errorf("Classify(empty) = %q", got)
+	}
+}
+
+func TestStateString(t *testing.T) {
+	want := map[State]string{StatePending: "pending", StateLeased: "leased",
+		StateJournaled: "journaled", StateMerged: "merged", State(99): "unknown"}
+	for s, name := range want {
+		if s.String() != name {
+			t.Errorf("State(%d).String() = %q, want %q", s, s.String(), name)
+		}
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	dir := t.TempDir()
+	if _, err := New(Config{Splits: 1, JournalDir: dir}); err == nil {
+		t.Error("New without a spec succeeded")
+	}
+	if _, err := New(Config{Spec: testSpec(), Splits: 0, JournalDir: dir}); err == nil {
+		t.Error("New with 0 splits succeeded")
+	}
+	if _, err := New(Config{Spec: testSpec(), Splits: 1 << 20, JournalDir: dir}); err == nil {
+		t.Error("New with more splits than trials succeeded")
+	}
+	if _, err := New(Config{Spec: testSpec(), Splits: 2}); err == nil {
+		t.Error("New without a journal dir succeeded")
+	}
+}
+
+// TestRecoverRejectsForeignJournal: a corrupt or foreign file sitting at
+// a shard path must fail coordinator construction loudly, not be
+// silently re-run over.
+func TestRecoverRejectsForeignJournal(t *testing.T) {
+	dir := t.TempDir()
+	spec := testSpec()
+	bad := filepath.Join(dir, spec.Name+".shard1of2.jsonl")
+	if err := os.WriteFile(bad, []byte("not a journal\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := New(Config{Spec: spec, Splits: 2, JournalDir: dir})
+	if err == nil || !strings.Contains(err.Error(), "delete the file") {
+		t.Fatalf("New over a foreign shard file: %v", err)
+	}
+}

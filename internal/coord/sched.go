@@ -1,0 +1,568 @@
+package coord
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+)
+
+// Run drives the campaign to completion: each Poll tick it polls worker
+// status, re-queues the leases of dead or job-less workers, fetches and
+// validates completed shard journals, dispatches pending ranges to idle
+// workers, and speculatively re-issues stragglers. It returns the merged
+// result — byte-identical to an uninterrupted single-host run — or the
+// first fatal error (a range out of attempts, or ctx canceled).
+//
+// Run may be called with zero workers registered; it waits for
+// registrations (typically arriving through the HTTP Server) and adapts
+// as the pool grows and shrinks.
+func (c *Coordinator) Run(ctx context.Context) (*campaign.Result, error) {
+	tick := time.NewTicker(c.cfg.Poll)
+	defer tick.Stop()
+	for {
+		c.step(ctx)
+
+		c.mu.Lock()
+		fatal := c.fatal
+		done := true
+		for _, l := range c.leases {
+			if l.state != StateJournaled {
+				done = false
+				break
+			}
+		}
+		c.mu.Unlock()
+
+		if fatal != nil {
+			c.drain()
+			return nil, fatal
+		}
+		if done {
+			return c.merge()
+		}
+		select {
+		case <-ctx.Done():
+			c.drain()
+			return nil, ctx.Err()
+		case <-tick.C:
+		}
+	}
+}
+
+// drain best-effort cancels every running job so workers stop burning
+// cycles on a campaign that is over. The parent ctx is typically already
+// dead here, so each cancel gets its own deadline.
+func (c *Coordinator) drain() {
+	type target struct {
+		w   Worker
+		job string
+	}
+	var ts []target
+	c.mu.Lock()
+	for _, l := range c.leases {
+		if l.state != StateLeased {
+			continue
+		}
+		for id, jobID := range l.workers {
+			if ws, ok := c.workers[id]; ok {
+				ts = append(ts, target{ws.w, jobID})
+			}
+		}
+	}
+	c.mu.Unlock()
+	for _, t := range ts {
+		cctx, cancel := context.WithTimeout(context.Background(), c.cfg.RPCTimeout)
+		_ = t.w.Cancel(cctx, t.job)
+		cancel()
+	}
+}
+
+// merge folds the journaled shards into the final result and marks the
+// leases merged.
+func (c *Coordinator) merge() (*campaign.Result, error) {
+	paths := make([]string, len(c.leases))
+	for i, l := range c.leases {
+		paths[i] = l.path
+	}
+	res, err := journal.Merge(paths)
+	if err != nil {
+		return nil, err
+	}
+	c.mu.Lock()
+	for _, l := range c.leases {
+		l.state = StateMerged
+	}
+	c.mu.Unlock()
+	c.cfg.Logf("merged %d shards: %d trials", len(paths), len(res.Trials))
+	return res, nil
+}
+
+// step is one scheduler tick. RPCs run outside the lock; every lease
+// transition happens under it, on this goroutine only — heartbeats
+// merely freshen liveness, so there is no second writer to race.
+func (c *Coordinator) step(ctx context.Context) {
+	c.poll(ctx)
+	fetches := c.transition()
+	c.collect(ctx, fetches)
+	for _, s := range c.assign() {
+		c.dispatch(ctx, s)
+	}
+	c.speculate(ctx)
+}
+
+// poll asks every worker with a lease for job status (doubling as a
+// liveness probe); idle workers are probed too so a dead idle worker is
+// dropped from the pool rather than assigned work forever.
+func (c *Coordinator) poll(ctx context.Context) {
+	type probe struct {
+		id    string
+		w     Worker
+		jobID string
+	}
+	var ps []probe
+	c.mu.Lock()
+	for id, ws := range c.workers {
+		jobID := ""
+		if ws.lease >= 0 {
+			jobID = c.leases[ws.lease].workers[id]
+		}
+		ps = append(ps, probe{id, ws.w, jobID})
+	}
+	c.mu.Unlock()
+
+	for _, p := range ps {
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		st, err := p.w.Status(cctx, p.jobID)
+		cancel()
+
+		c.mu.Lock()
+		ws, ok := c.workers[p.id]
+		if !ok {
+			c.mu.Unlock()
+			continue
+		}
+		switch {
+		case err == nil:
+			ws.lastSeen = time.Now()
+			ws.status = st
+		case errors.Is(err, ErrUnknownJob):
+			// Alive but amnesiac: it restarted and lost the assignment.
+			ws.lastSeen = time.Now()
+			ws.status = WorkerStatus{}
+			if ws.lease >= 0 {
+				c.cfg.Logf("worker %s lost job %s — re-queueing range %d", p.id, p.jobID, ws.lease)
+				c.detach(ws.lease, p.id, "worker lost the job")
+				ws.lease = -1
+			}
+		default:
+			// RPC failure: say nothing, let the liveness timeout decide —
+			// a push heartbeat may still be keeping this worker alive.
+		}
+		c.mu.Unlock()
+	}
+}
+
+// fetchOrder names one done job whose journal should be collected.
+type fetchOrder struct {
+	leaseIdx int
+	id       string
+	w        Worker
+	jobID    string
+}
+
+// transition applies the post-poll bookkeeping under the lock: dead
+// workers are buried (their leases re-queued), failed jobs re-queued,
+// and done jobs turned into fetch orders.
+func (c *Coordinator) transition() []fetchOrder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+
+	for id, ws := range c.workers {
+		if now.Sub(ws.lastSeen) <= c.cfg.LivenessTimeout {
+			continue
+		}
+		c.stats.DeadWorkers++
+		c.cfg.Logf("worker %s silent for %v — declaring dead (%d workers remain)",
+			id, now.Sub(ws.lastSeen).Round(time.Millisecond), len(c.workers)-1)
+		if ws.lease >= 0 {
+			c.detach(ws.lease, id, "worker died")
+		}
+		delete(c.workers, id)
+	}
+
+	var fetches []fetchOrder
+	for id, ws := range c.workers {
+		if ws.lease < 0 {
+			continue
+		}
+		l := c.leases[ws.lease]
+		jobID := l.workers[id]
+		if ws.status.JobID != jobID {
+			continue // stale report from before the dispatch
+		}
+		switch ws.status.State {
+		case JobDone:
+			if l.state == StateLeased {
+				fetches = append(fetches, fetchOrder{ws.lease, id, ws.w, jobID})
+			}
+		case JobFailed:
+			c.cfg.Logf("worker %s failed job %s: %s", id, jobID, ws.status.Err)
+			c.detach(ws.lease, id, ws.status.Err)
+			ws.lease = -1
+		}
+	}
+	return fetches
+}
+
+// detach removes a worker from a lease (under the lock). When the last
+// tenant leaves a still-leased range, the attempt failed: the range
+// re-queues behind its backoff, or the campaign turns fatal once the
+// attempt budget is spent.
+func (c *Coordinator) detach(leaseIdx int, id, reason string) {
+	l := c.leases[leaseIdx]
+	delete(l.workers, id)
+	if len(l.workers) > 0 || l.state != StateLeased {
+		return
+	}
+	l.failures++
+	l.lastErr = reason
+	l.speculated = false
+	if l.failures >= c.cfg.MaxAttempts {
+		l.state = StatePending
+		c.fatal = fmt.Errorf("coord: range %d/%d [%d,%d) failed %d attempts, last error: %s",
+			l.rng.Index+1, l.rng.Count, l.rng.Lo, l.rng.Hi, l.failures, reason)
+		return
+	}
+	delay := c.cfg.Backoff.Delay(l.failures, c.cfg.jitter)
+	l.state = StatePending
+	l.notBefore = time.Now().Add(delay)
+	c.stats.Requeues++
+	c.cfg.Logf("range %d/%d re-queued (failure %d/%d, retry in %v): %s",
+		l.rng.Index+1, l.rng.Count, l.failures, c.cfg.MaxAttempts, delay.Round(time.Millisecond), reason)
+}
+
+// collect fetches each done job's journal, validates it byte-for-byte
+// (decode, header check, completeness) before trusting it, lands it
+// under the shard path via tmp+rename, and seats the lease as
+// journaled. The slower twin of a speculated range loses the race here
+// and is discarded and canceled.
+func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
+	for _, f := range fetches {
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		data, err := f.w.Journal(cctx, f.jobID)
+		cancel()
+		l := c.leases[f.leaseIdx]
+		if err != nil {
+			c.mu.Lock()
+			c.cfg.Logf("fetching journal of %s from %s: %v", f.jobID, f.id, err)
+			c.detach(f.leaseIdx, f.id, fmt.Sprintf("journal fetch: %v", err))
+			if ws, ok := c.workers[f.id]; ok {
+				ws.lease = -1
+			}
+			c.mu.Unlock()
+			continue
+		}
+		path := c.shardPath(l.rng)
+		j, err := journal.DecodeBytes(path, data)
+		if err == nil {
+			err = c.verifyShard(j, l.rng, path)
+		}
+		if err != nil {
+			// A worker handing back a corrupt or wrong journal is a failed
+			// attempt like any other; the range re-runs elsewhere.
+			c.mu.Lock()
+			c.cfg.Logf("rejecting journal of %s from %s: %v", f.jobID, f.id, err)
+			c.detach(f.leaseIdx, f.id, fmt.Sprintf("invalid journal: %v", err))
+			if ws, ok := c.workers[f.id]; ok {
+				ws.lease = -1
+			}
+			c.mu.Unlock()
+			continue
+		}
+
+		c.mu.Lock()
+		if l.state != StateLeased {
+			// The twin already landed this range: first journal wins.
+			c.stats.DuplicatesDiscarded++
+			c.cfg.Logf("range %d/%d: duplicate journal from %s discarded", l.rng.Index+1, l.rng.Count, f.id)
+			delete(l.workers, f.id)
+			if ws, ok := c.workers[f.id]; ok {
+				ws.lease = -1
+			}
+			c.mu.Unlock()
+			continue
+		}
+		c.mu.Unlock()
+
+		// Land outside the lock: tmp+rename so a coordinator crash can
+		// never leave a half-written shard to poison recovery.
+		tmp := path + ".tmp"
+		err = os.WriteFile(tmp, data, 0o644)
+		if err == nil {
+			err = os.Rename(tmp, path)
+		}
+		if err != nil {
+			os.Remove(tmp)
+			c.mu.Lock()
+			c.fatal = fmt.Errorf("coord: landing %s: %w", filepath.Base(path), err)
+			c.mu.Unlock()
+			return
+		}
+
+		c.mu.Lock()
+		l.state = StateJournaled
+		l.path = path
+		if !l.started.IsZero() {
+			l.dur = time.Since(l.started)
+		}
+		c.stats.Journaled++
+		losers := make(map[string]string, len(l.workers))
+		for id, jobID := range l.workers {
+			if id == f.id {
+				continue
+			}
+			if ws, ok := c.workers[id]; ok {
+				losers[id] = jobID
+				ws.lease = -1
+			}
+		}
+		delete(l.workers, f.id)
+		for id := range losers {
+			delete(l.workers, id)
+		}
+		if ws, ok := c.workers[f.id]; ok {
+			ws.lease = -1
+		}
+		c.cfg.Logf("range %d/%d journaled by %s (%d/%d done)",
+			l.rng.Index+1, l.rng.Count, f.id, c.stats.Journaled, len(c.leases))
+		c.mu.Unlock()
+
+		// Cancel the losing twin(s) so they stop burning a worker.
+		for id, jobID := range losers {
+			c.mu.Lock()
+			ws, ok := c.workers[id]
+			c.mu.Unlock()
+			if !ok {
+				continue
+			}
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+			_ = ws.w.Cancel(cctx, jobID)
+			cancel()
+		}
+	}
+}
+
+// startOrder names one dispatch: run job on w for lease leaseIdx.
+type startOrder struct {
+	leaseIdx int
+	id       string
+	w        Worker
+	job      Job
+}
+
+// assign pairs pending, backoff-expired ranges with idle workers (under
+// the lock) and returns the dispatch orders. Lowest range index first —
+// deterministic and friendly to tail-watching humans.
+func (c *Coordinator) assign() []startOrder {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	now := time.Now()
+
+	var idle []string
+	for id, ws := range c.workers {
+		if ws.lease < 0 {
+			idle = append(idle, id)
+		}
+	}
+	sort.Strings(idle)
+
+	var orders []startOrder
+	for i, l := range c.leases {
+		if len(idle) == 0 {
+			break
+		}
+		if l.state != StatePending || now.Before(l.notBefore) {
+			continue
+		}
+		id := idle[0]
+		idle = idle[1:]
+		ws := c.workers[id]
+		job := Job{ID: c.jobID(l.rng), Spec: c.cfg.Spec, Range: l.rng}
+		l.state = StateLeased
+		l.workers[id] = job.ID
+		l.started = now
+		l.dispatches++
+		ws.lease = i
+		c.stats.Dispatches++
+		orders = append(orders, startOrder{i, id, ws.w, job})
+	}
+	return orders
+}
+
+// dispatch performs one Start RPC; a refusal is a failed attempt.
+func (c *Coordinator) dispatch(ctx context.Context, s startOrder) {
+	cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+	err := s.w.Start(cctx, s.job)
+	cancel()
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	l := c.leases[s.leaseIdx]
+	if err != nil {
+		c.cfg.Logf("dispatching %s to %s: %v", s.job.ID, s.id, err)
+		c.detach(s.leaseIdx, s.id, fmt.Sprintf("dispatch: %v", err))
+		if ws, ok := c.workers[s.id]; ok {
+			ws.lease = -1
+		}
+		return
+	}
+	c.cfg.Logf("range %d/%d [%d,%d) → %s (attempt %d)",
+		l.rng.Index+1, l.rng.Count, l.rng.Lo, l.rng.Hi, s.id, l.dispatches)
+}
+
+// speculate re-issues straggling leased ranges to idle workers. It only
+// runs when no pending range wants the capacity, so speculation never
+// starves first-time work; each tenancy gets at most one twin.
+func (c *Coordinator) speculate(ctx context.Context) {
+	if c.cfg.Straggler.Disabled {
+		return
+	}
+
+	type candidate struct {
+		leaseIdx  int
+		primary   string // the worker to scrape
+		projected time.Duration
+	}
+	var (
+		cands     []candidate
+		idle      []string
+		completed []time.Duration
+	)
+	c.mu.Lock()
+	now := time.Now()
+	for _, l := range c.leases {
+		if l.state == StatePending && !now.Before(l.notBefore) {
+			c.mu.Unlock()
+			return // pending work outranks speculation
+		}
+		if l.state == StateJournaled || l.state == StateMerged {
+			if l.dur > 0 {
+				completed = append(completed, l.dur)
+			}
+		}
+	}
+	for id, ws := range c.workers {
+		if ws.lease < 0 {
+			idle = append(idle, id)
+		}
+	}
+	sort.Strings(idle)
+	if len(idle) == 0 {
+		c.mu.Unlock()
+		return
+	}
+	for i, l := range c.leases {
+		if l.state != StateLeased || l.speculated || l.started.IsZero() {
+			continue
+		}
+		var primary string
+		for id := range l.workers {
+			if primary == "" || id < primary {
+				primary = id
+			}
+		}
+		ws, ok := c.workers[primary]
+		if !ok {
+			continue
+		}
+		projected, _ := projectTotal(now.Sub(l.started), ws.status.Done, ws.status.Total)
+		cands = append(cands, candidate{i, primary, projected})
+	}
+	c.mu.Unlock()
+
+	for _, cand := range cands {
+		if len(idle) == 0 {
+			return
+		}
+		slow := c.cfg.Straggler.ShouldSpeculate(cand.projected, completed)
+		why := fmt.Sprintf("projected %v vs median %v", cand.projected.Round(time.Millisecond), medianDuration(completed).Round(time.Millisecond))
+
+		// The scrape is the second opinion: a stalled throughput timeline
+		// speculates even when the projection is inconclusive, and either
+		// way the snapshot classifies what the straggler is bound on.
+		var diag string
+		c.mu.Lock()
+		ws, ok := c.workers[cand.primary]
+		c.mu.Unlock()
+		if ok {
+			cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+			snap, err := ws.w.Snapshot(cctx)
+			cancel()
+			if err == nil && snap != nil {
+				diag = Classify(snap)
+				if !slow && c.cfg.Straggler.Stalled(snap) {
+					slow = true
+					why = fmt.Sprintf("throughput stalled > %v", c.cfg.Straggler.StallWindow)
+				}
+			}
+		}
+		if !slow {
+			continue
+		}
+
+		c.mu.Lock()
+		l := c.leases[cand.leaseIdx]
+		if l.state != StateLeased || l.speculated {
+			c.mu.Unlock()
+			continue
+		}
+		var tid string
+		for len(idle) > 0 && tid == "" {
+			id := idle[0]
+			idle = idle[1:]
+			if tw, ok := c.workers[id]; ok && tw.lease < 0 {
+				tid = id
+			}
+		}
+		if tid == "" {
+			c.mu.Unlock()
+			return
+		}
+		tw := c.workers[tid]
+		job := Job{ID: c.jobID(l.rng), Spec: c.cfg.Spec, Range: l.rng}
+		l.workers[tid] = job.ID
+		l.speculated = true
+		l.dispatches++
+		tw.lease = cand.leaseIdx
+		c.stats.Dispatches++
+		c.stats.Speculations++
+		if diag == "" {
+			diag = "unclassified (no snapshot)"
+		}
+		c.cfg.Logf("range %d/%d straggling on %s (%s; %s) — speculating on %s",
+			l.rng.Index+1, l.rng.Count, cand.primary, why, diag, tid)
+		c.mu.Unlock()
+
+		cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
+		err := tw.w.Start(cctx, job)
+		cancel()
+		if err != nil {
+			c.mu.Lock()
+			c.cfg.Logf("speculative dispatch of %s to %s: %v", job.ID, tid, err)
+			// Unwind the twin only; the primary tenancy is untouched.
+			delete(l.workers, tid)
+			l.speculated = false
+			if ws, ok := c.workers[tid]; ok {
+				ws.lease = -1
+			}
+			c.mu.Unlock()
+		}
+	}
+}

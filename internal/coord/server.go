@@ -1,0 +1,44 @@
+package coord
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// Handler serves the coordinator's control API:
+//
+//	POST /v1/register   body: {id, addr}  — join (or rejoin) the pool
+//	POST /v1/heartbeat  body: {id, status} → {known} — push liveness
+//	GET  /v1/status     → StatusSnapshot — the live lease table,
+//	                      worker pool, and fault counters
+//
+// Registration is open by design: the coordinator trusts its network,
+// like the rest of the lab-cluster workflow this automates.
+func (c *Coordinator) Handler() http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
+		var reg registration
+		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if reg.ID == "" || reg.Addr == "" {
+			http.Error(w, "registration needs id and addr", http.StatusBadRequest)
+			return
+		}
+		c.Register(reg.ID, reg.Addr)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
+		var reg registration
+		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		writeJSON(w, http.StatusOK, heartbeatAck{Known: c.Observe(reg.ID, reg.Status)})
+	})
+	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, c.Status())
+	})
+	return mux
+}

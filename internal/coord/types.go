@@ -1,0 +1,118 @@
+// Package coord is the fault-tolerant control plane that turns the
+// manual multi-host workflow (`lbfarm -shard i/n` per host, `lbmerge`
+// by hand) into a coordinated campaign that survives real fleets.
+//
+// A coordinator splits one campaign spec into shard ranges — the same
+// deterministic journal.ShardRange partition the CLI sharding uses —
+// and dispatches them to registered workers over HTTP. Each range moves
+// through a lease state machine:
+//
+//	pending → leased → journaled → merged
+//
+// pending ranges wait for an idle worker (or for their retry backoff to
+// expire); leased ranges are running on one worker — or several, when
+// the straggler detector speculatively re-issues a slow range;
+// journaled ranges have had their complete, validated shard journal
+// fetched to the coordinator's journal directory; merged is the final
+// fold through journal.Merge / campaign.Fold, byte-identical to an
+// uninterrupted single-host run.
+//
+// Robustness model, in order of line of defence:
+//
+//   - Liveness: workers are observed through push heartbeats and pull
+//     status polls; a worker silent past the liveness timeout is
+//     declared dead, its leases are re-queued, and the campaign
+//     finishes on the survivors. Re-execution is safe because trials
+//     are deterministic and shard journals resume.
+//   - Retry with backoff: every failed range attempt (dispatch error,
+//     worker death, failed or lost job, invalid fetched journal)
+//     re-queues the range behind an exponential backoff with jitter,
+//     and the campaign fails loudly — naming the range and its last
+//     error — once a range exhausts its attempt budget.
+//   - Straggler re-issue: the detector projects each leased range's
+//     completion from its progress, scrapes the worker's debug
+//     endpoint for the obs snapshot (stage shares say whether it is
+//     compute- or fsync-bound; the throughput timeline says whether it
+//     stalled outright), and speculatively re-issues the slowest tail
+//     ranges to idle workers. Determinism makes duplicates free: the
+//     first complete journal wins and the loser is discarded.
+//   - Durability: fetched shard journals are the coordinator's lease
+//     table. A restarted coordinator re-reads them, seats the complete
+//     ones as journaled, and only re-issues what is actually missing.
+package coord
+
+import (
+	"context"
+	"errors"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// Job is one dispatched unit of work: run shard Range.Index of
+// Range.Count of Spec, journal it, and hold the journal for collection.
+// The ID is stable across re-dispatches of the same range (it names the
+// range, not the attempt), so a worker that already holds a partial
+// journal for it resumes instead of restarting.
+type Job struct {
+	ID    string         `json:"id"`
+	Spec  *campaign.Spec `json:"spec"`
+	Range Range          `json:"range"`
+}
+
+// JobState is a worker's view of one job.
+type JobState string
+
+const (
+	// JobIdle means the worker holds no such job (never dispatched, or
+	// lost to a worker restart).
+	JobIdle JobState = "idle"
+	// JobRunning means the job's engine run is in flight.
+	JobRunning JobState = "running"
+	// JobDone means the shard journal is complete and collectable.
+	JobDone JobState = "done"
+	// JobFailed means the run ended without a complete journal; Err
+	// carries the reason (including "canceled" for a drained job).
+	JobFailed JobState = "failed"
+)
+
+// WorkerStatus is a worker's self-report — the heartbeat payload and
+// the status-poll response. Done counts journaled trials of the current
+// job (replayed rows included), Total the job's trial count.
+type WorkerStatus struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// ErrUnknownJob is returned by Worker.Status when the worker does not
+// know the asked-about job — the signature of a worker that restarted
+// and lost its assignment; the coordinator re-queues the range.
+var ErrUnknownJob = errors.New("coord: unknown job")
+
+// Worker is the coordinator's handle on one registered worker. The
+// production implementation is the HTTP Client; the chaos tests inject
+// fault-wrapped handles through the same interface.
+type Worker interface {
+	// ID is the worker's stable registration identity.
+	ID() string
+	// Start launches the job asynchronously. Starting a job the worker
+	// already runs or holds done is idempotent, never an error.
+	Start(ctx context.Context, job Job) error
+	// Status reports on jobID ("" = whatever the worker is doing) and
+	// doubles as the liveness probe. ErrUnknownJob means the worker has
+	// no memory of that job.
+	Status(ctx context.Context, jobID string) (WorkerStatus, error)
+	// Cancel drains jobID: the engine stops claiming trials, the
+	// journal is synced and closed. Best-effort; canceling an unknown
+	// or finished job is not an error.
+	Cancel(ctx context.Context, jobID string) error
+	// Journal fetches the complete shard journal of a done job.
+	Journal(ctx context.Context, jobID string) ([]byte, error)
+	// Snapshot scrapes the worker's live telemetry (the -debug-addr
+	// expvar surface). Workers without telemetry return (nil, nil);
+	// the coordinator treats a missing snapshot as "no opinion".
+	Snapshot(ctx context.Context) (*obs.Snapshot, error)
+}

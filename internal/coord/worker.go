@@ -1,0 +1,402 @@
+package coord
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/campaign"
+	"repro/internal/journal"
+	"repro/internal/obs"
+)
+
+// Hooks are the worker's fault-injection points, wired only by the
+// chaos tests; the zero value is a production worker.
+type Hooks struct {
+	// SinkDelay, when non-nil, runs inside the engine sink before each
+	// journal append — the latency knob that manufactures stragglers.
+	SinkDelay func(r campaign.TrialResult)
+	// KillAfter > 0 simulates a process death after that many journaled
+	// trials: the job halts where it stands (partial journal and all)
+	// and every subsequent HTTP request is refused, exactly what a
+	// SIGKILLed worker looks like from the coordinator.
+	KillAfter int
+}
+
+// WorkerConfig parameterises a WorkerServer.
+type WorkerConfig struct {
+	// ID is the worker's registration identity (default: host:pid).
+	ID string
+	// Dir is where the worker keeps its shard journals (one per job ID).
+	Dir string
+	// Workers is the engine pool size (≤ 0 = GOMAXPROCS).
+	Workers int
+	// Obs, when non-nil, is the telemetry set the engine records into
+	// and /debug/vars serves — the surface the coordinator's straggler
+	// detector scrapes.
+	Obs *obs.Set
+	// Logf receives the worker's event log (nil = silent).
+	Logf func(format string, args ...any)
+	// Hooks inject faults for the chaos tests.
+	Hooks Hooks
+}
+
+// workerJob is the worker's current assignment and its run state.
+type workerJob struct {
+	job   Job
+	state JobState
+	err   string
+	path  string
+	done  atomic.Int64 // journaled trials (replayed rows included)
+	total int
+	stop  chan struct{} // closed (via halt) to drain the engine
+	halt1 sync.Once     // cancel and the kill hook may race to close it
+	fin   chan struct{} // closed when the run goroutine exits
+}
+
+// halt closes the drain channel exactly once.
+func (j *workerJob) halt() { j.halt1.Do(func() { close(j.stop) }) }
+
+// WorkerServer executes one Job at a time: resume-or-create the job's
+// shard journal, run the engine over the job's range, and hold the
+// complete journal for collection. It implements the Worker interface
+// in-process and serves it over HTTP via Handler — Start/Status/Cancel/
+// Journal are the same code either way, which is what lets the chaos
+// tests drive the real server through real HTTP.
+type WorkerServer struct {
+	cfg WorkerConfig
+
+	mu     sync.Mutex
+	cur    *workerJob
+	killed atomic.Bool
+}
+
+// NewWorkerServer validates the config and prepares the journal dir.
+func NewWorkerServer(cfg WorkerConfig) (*WorkerServer, error) {
+	if cfg.ID == "" {
+		host, _ := os.Hostname()
+		cfg.ID = fmt.Sprintf("%s:%d", host, os.Getpid())
+	}
+	if cfg.Dir == "" {
+		return nil, fmt.Errorf("coord: worker needs a journal directory")
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+	return &WorkerServer{cfg: cfg}, nil
+}
+
+// ID implements Worker.
+func (s *WorkerServer) ID() string { return s.cfg.ID }
+
+// Start implements Worker: launch the job asynchronously. Re-starting
+// the job the worker already runs (or holds done) is idempotent — the
+// coordinator's speculative re-issue and retry paths depend on that.
+// Starting a different job while one runs is refused.
+func (s *WorkerServer) Start(_ context.Context, job Job) error {
+	if s.dead() {
+		return errors.New("coord: worker is down")
+	}
+	if job.Spec == nil {
+		return errors.New("coord: job carries no spec")
+	}
+	// Own the spec outright: runJob normalises it in place, and an
+	// in-process caller (the chaos tests, a future embedded mode) would
+	// otherwise share slices with the coordinator's copy.
+	data, err := json.Marshal(job.Spec)
+	if err != nil {
+		return err
+	}
+	sc := &campaign.Spec{}
+	if err := json.Unmarshal(data, sc); err != nil {
+		return err
+	}
+	job.Spec = sc
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur != nil {
+		switch {
+		case s.cur.job.ID == job.ID && (s.cur.state == JobRunning || s.cur.state == JobDone):
+			return nil
+		case s.cur.state == JobRunning:
+			return fmt.Errorf("coord: busy with job %s", s.cur.job.ID)
+		}
+	}
+	j := &workerJob{
+		job:   job,
+		state: JobRunning,
+		total: job.Range.Hi - job.Range.Lo,
+		path:  filepath.Join(s.cfg.Dir, job.ID+".jsonl"),
+		stop:  make(chan struct{}),
+		fin:   make(chan struct{}),
+	}
+	s.cur = j
+	s.cfg.Logf("job %s: shard %d/%d [%d,%d)", job.ID, job.Range.Index+1, job.Range.Count, job.Range.Lo, job.Range.Hi)
+	go s.execute(j)
+	return nil
+}
+
+// execute runs one job to completion (or drain, or injected death).
+func (s *WorkerServer) execute(j *workerJob) {
+	defer close(j.fin)
+	err := s.runJob(j)
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	switch {
+	case err == nil:
+		j.state = JobDone
+		s.cfg.Logf("job %s: done (%d trials journaled)", j.job.ID, j.done.Load())
+	case errors.Is(err, campaign.ErrInterrupted):
+		j.state = JobFailed
+		j.err = "canceled"
+		s.cfg.Logf("job %s: drained after %d trials", j.job.ID, j.done.Load())
+	default:
+		j.state = JobFailed
+		j.err = err.Error()
+		s.cfg.Logf("job %s: failed: %v", j.job.ID, err)
+	}
+}
+
+// runJob is the journal-and-engine plumbing: resume the job's journal
+// if a previous attempt left one (byte-identity survives re-dispatch),
+// create it otherwise, and run the engine over the job's range with the
+// drain channel attached.
+func (s *WorkerServer) runJob(j *workerJob) error {
+	spec := j.job.Spec
+	if err := spec.Normalize(); err != nil {
+		return err
+	}
+	hdr, err := journal.NewHeader(spec, j.job.Range.Index, j.job.Range.Count)
+	if err != nil {
+		return err
+	}
+	if hdr.Lo != j.job.Range.Lo || hdr.Hi != j.job.Range.Hi {
+		return fmt.Errorf("coord: job range [%d,%d) disagrees with shard %d/%d of the spec ([%d,%d))",
+			j.job.Range.Lo, j.job.Range.Hi, j.job.Range.Index+1, j.job.Range.Count, hdr.Lo, hdr.Hi)
+	}
+
+	var (
+		w    *journal.Writer
+		done []campaign.TrialResult
+	)
+	if _, serr := os.Stat(j.path); serr == nil {
+		w, done, err = journal.Resume(j.path, hdr)
+		if err == nil && len(done) > 0 {
+			s.cfg.Logf("job %s: resuming journal, %d of %d trials already done", j.job.ID, len(done), j.total)
+		}
+	} else {
+		w, err = journal.Create(j.path, hdr)
+	}
+	if err != nil {
+		return err
+	}
+	w.Obs = s.cfg.Obs.Aux()
+	j.done.Store(int64(len(done)))
+
+	kill := s.cfg.Hooks.KillAfter
+	eng := &campaign.Engine{
+		Workers: s.cfg.Workers,
+		Done:    done,
+		Lo:      j.job.Range.Lo,
+		Hi:      j.job.Range.Hi,
+		Obs:     s.cfg.Obs,
+		Stop:    j.stop,
+		Sink: func(r campaign.TrialResult) error {
+			if s.cfg.Hooks.SinkDelay != nil {
+				s.cfg.Hooks.SinkDelay(r)
+			}
+			if err := w.Append(r); err != nil {
+				return err
+			}
+			if n := j.done.Add(1); kill > 0 && n >= int64(kill) && !s.killed.Swap(true) {
+				// Simulated death: stop the engine where it stands and go
+				// dark. The journal tail is deliberately not synced —
+				// that is what a real SIGKILL leaves behind.
+				j.halt()
+				s.cfg.Logf("job %s: injected kill after %d trials", j.job.ID, n)
+			}
+			return nil
+		},
+	}
+	_, err = eng.Run(spec)
+	if s.killed.Load() {
+		// Dead workers don't close files cleanly.
+		return errors.New("coord: worker killed by fault injection")
+	}
+	if err != nil {
+		// Drain or failure: sync what we have — the journal is the
+		// resumable artifact either way — and report the run's error.
+		if cerr := w.Close(); cerr != nil && errors.Is(err, campaign.ErrInterrupted) {
+			return cerr
+		}
+		return err
+	}
+	return w.Close()
+}
+
+// Status implements Worker. jobID "" reports whatever the worker is
+// doing; naming a job the worker does not hold returns ErrUnknownJob.
+func (s *WorkerServer) Status(_ context.Context, jobID string) (WorkerStatus, error) {
+	if s.dead() {
+		return WorkerStatus{}, errors.New("coord: worker is down")
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.cur == nil || (jobID != "" && s.cur.job.ID != jobID) {
+		if jobID == "" {
+			return WorkerStatus{State: JobIdle}, nil
+		}
+		return WorkerStatus{}, ErrUnknownJob
+	}
+	j := s.cur
+	return WorkerStatus{
+		JobID: j.job.ID,
+		State: j.state,
+		Done:  int(j.done.Load()),
+		Total: j.total,
+		Err:   j.err,
+	}, nil
+}
+
+// Cancel implements Worker: drain the named job. The engine stops
+// claiming trials, in-flight trials reach the journal, and the journal
+// is synced closed — best-effort and idempotent.
+func (s *WorkerServer) Cancel(_ context.Context, jobID string) error {
+	if s.dead() {
+		return errors.New("coord: worker is down")
+	}
+	s.mu.Lock()
+	j := s.cur
+	if j == nil || (jobID != "" && j.job.ID != jobID) || j.state != JobRunning {
+		s.mu.Unlock()
+		return nil
+	}
+	j.halt()
+	s.mu.Unlock()
+	<-j.fin
+	return nil
+}
+
+// Journal implements Worker: the complete journal bytes of a done job.
+func (s *WorkerServer) Journal(_ context.Context, jobID string) ([]byte, error) {
+	if s.dead() {
+		return nil, errors.New("coord: worker is down")
+	}
+	s.mu.Lock()
+	j := s.cur
+	s.mu.Unlock()
+	if j == nil || j.job.ID != jobID {
+		return nil, ErrUnknownJob
+	}
+	if j.state != JobDone {
+		return nil, fmt.Errorf("coord: job %s is %s, not done", jobID, j.state)
+	}
+	return os.ReadFile(j.path)
+}
+
+// Snapshot implements Worker: the live telemetry snapshot (nil when the
+// worker runs without telemetry).
+func (s *WorkerServer) Snapshot(context.Context) (*obs.Snapshot, error) {
+	if s.dead() {
+		return nil, errors.New("coord: worker is down")
+	}
+	return s.cfg.Obs.Snapshot(), nil
+}
+
+// Drain cancels any running job and waits for it to settle — the
+// SIGTERM path of the worker serve mode.
+func (s *WorkerServer) Drain() { _ = s.Cancel(context.Background(), "") }
+
+// dead reports whether fault injection took this worker down.
+func (s *WorkerServer) dead() bool { return s.killed.Load() }
+
+// Status payload envelope for the journal endpoint's error body.
+type httpError struct {
+	Error string `json:"error"`
+}
+
+// Handler serves the worker API:
+//
+//	POST /v1/job/start        body: Job
+//	GET  /v1/job/status?id=J  200: WorkerStatus, 404: unknown job
+//	POST /v1/job/cancel?id=J
+//	GET  /v1/job/journal?id=J 200: raw journal bytes
+//	GET  /debug/vars          {"obs": <snapshot>, "worker": {...}} —
+//	                          the expvar-shaped scrape surface the
+//	                          coordinator's straggler detector reads.
+//
+// A worker taken down by fault injection answers everything with 503,
+// indistinguishable from a dead process to the coordinator.
+func (s *WorkerServer) Handler() http.Handler {
+	mux := http.NewServeMux()
+	guard := func(h http.HandlerFunc) http.HandlerFunc {
+		return func(w http.ResponseWriter, r *http.Request) {
+			if s.dead() {
+				http.Error(w, "worker is down", http.StatusServiceUnavailable)
+				return
+			}
+			h(w, r)
+		}
+	}
+	mux.HandleFunc("POST /v1/job/start", guard(func(w http.ResponseWriter, r *http.Request) {
+		var job Job
+		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
+			http.Error(w, err.Error(), http.StatusBadRequest)
+			return
+		}
+		if err := s.Start(r.Context(), job); err != nil {
+			writeJSON(w, http.StatusConflict, httpError{err.Error()})
+			return
+		}
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("GET /v1/job/status", guard(func(w http.ResponseWriter, r *http.Request) {
+		st, err := s.Status(r.Context(), r.URL.Query().Get("id"))
+		if errors.Is(err, ErrUnknownJob) {
+			writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+			return
+		}
+		writeJSON(w, http.StatusOK, st)
+	}))
+	mux.HandleFunc("POST /v1/job/cancel", guard(func(w http.ResponseWriter, r *http.Request) {
+		_ = s.Cancel(r.Context(), r.URL.Query().Get("id"))
+		w.WriteHeader(http.StatusNoContent)
+	}))
+	mux.HandleFunc("GET /v1/job/journal", guard(func(w http.ResponseWriter, r *http.Request) {
+		data, err := s.Journal(r.Context(), r.URL.Query().Get("id"))
+		if err != nil {
+			code := http.StatusConflict
+			if errors.Is(err, ErrUnknownJob) {
+				code = http.StatusNotFound
+			}
+			writeJSON(w, code, httpError{err.Error()})
+			return
+		}
+		w.Header().Set("Content-Type", "application/octet-stream")
+		w.Write(data)
+	}))
+	mux.HandleFunc("GET /debug/vars", guard(func(w http.ResponseWriter, r *http.Request) {
+		st, _ := s.Status(r.Context(), "")
+		writeJSON(w, http.StatusOK, map[string]any{
+			"obs":    s.cfg.Obs.Snapshot(),
+			"worker": map[string]any{"id": s.cfg.ID, "status": st},
+		})
+	}))
+	return mux
+}
+
+// writeJSON writes v as a JSON response with the given status.
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	_ = json.NewEncoder(w).Encode(v)
+}

@@ -238,6 +238,7 @@ type Writer struct {
 	mu        sync.Mutex
 	f         *os.File
 	hdr       Header
+	unlock    func() // releases the writer-exclusion lock (flock or lease sidecar)
 	unsynced  int
 	SyncEvery int // records between fsyncs; set before first Append
 
@@ -270,15 +271,17 @@ func Create(path string, hdr Header) (*Writer, error) {
 		}
 		return nil, err
 	}
-	if err := lockFile(f); err != nil {
+	unlock, err := lockFile(f)
+	if err != nil {
 		f.Close()
 		return nil, fmt.Errorf("journal: locking %s: %w", path, err)
 	}
 	if err := initJournal(f, hdr); err != nil {
+		unlock()
 		f.Close()
 		return nil, err
 	}
-	return &Writer{f: f, hdr: hdr, SyncEvery: DefaultSyncEvery}, nil
+	return &Writer{f: f, hdr: hdr, SyncEvery: DefaultSyncEvery, unlock: unlock}, nil
 }
 
 // initJournal resets f to a header-only journal: truncated, the header
@@ -349,7 +352,7 @@ func (w *Writer) Sync() error {
 	return w.f.Sync()
 }
 
-// Close syncs and closes the journal.
+// Close syncs and closes the journal, releasing writer exclusion.
 func (w *Writer) Close() error {
 	w.mu.Lock()
 	defer w.mu.Unlock()
@@ -358,6 +361,9 @@ func (w *Writer) Close() error {
 	}
 	f := w.f
 	w.f = nil
+	if w.unlock != nil {
+		defer w.unlock()
+	}
 	w.Obs.Add(obs.CounterJournalFsyncs, 1)
 	if err := f.Sync(); err != nil {
 		f.Close()
@@ -399,6 +405,14 @@ func Read(path string) (*Journal, error) {
 		return nil, err
 	}
 	return decode(path, data)
+}
+
+// DecodeBytes parses journal content already held in memory — the
+// coordinator validates worker-fetched journals this way before
+// trusting a byte of them — with exactly Read's semantics; name labels
+// errors in place of a file path.
+func DecodeBytes(name string, data []byte) (*Journal, error) {
+	return decode(name, data)
 }
 
 // decode parses journal bytes (see Read for the semantics).
@@ -500,42 +514,43 @@ func Resume(path string, want Header) (*Writer, []campaign.TrialResult, error) {
 	if err != nil {
 		return nil, nil, err
 	}
-	if err := lockFile(f); err != nil {
+	unlock, err := lockFile(f)
+	if err != nil {
 		f.Close()
 		return nil, nil, fmt.Errorf("journal: locking %s: %w — is another run still writing it?", path, err)
 	}
-	data, err := io.ReadAll(f)
-	if err != nil {
+	// Every failure from here must drop both the lock and the file.
+	bail := func(err error) (*Writer, []campaign.TrialResult, error) {
+		unlock()
 		f.Close()
 		return nil, nil, err
 	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return bail(err)
+	}
 	j, err := decode(path, data)
 	if err != nil {
-		f.Close()
-		return nil, nil, err
+		return bail(err)
 	}
 	if !j.HeaderOK {
 		// A brand-new (or empty) file, or one beheaded mid-Create:
 		// nothing trustworthy on disk. Start over in place.
 		if err := initJournal(f, want); err != nil {
-			f.Close()
-			return nil, nil, err
+			return bail(err)
 		}
-		return &Writer{f: f, hdr: want, SyncEvery: DefaultSyncEvery}, nil, nil
+		return &Writer{f: f, hdr: want, SyncEvery: DefaultSyncEvery, unlock: unlock}, nil, nil
 	}
 	if err := j.Header.compatible(want); err != nil {
-		f.Close()
-		return nil, nil, fmt.Errorf("%w (%s)", err, path)
+		return bail(fmt.Errorf("%w (%s)", err, path))
 	}
 	if j.Torn {
 		if err := f.Truncate(j.clean); err != nil {
-			f.Close()
-			return nil, nil, err
+			return bail(err)
 		}
 	}
 	if _, err := f.Seek(j.clean, io.SeekStart); err != nil {
-		f.Close()
-		return nil, nil, err
+		return bail(err)
 	}
-	return &Writer{f: f, hdr: j.Header, SyncEvery: DefaultSyncEvery, RepairedTorn: j.Torn}, j.Rows, nil
+	return &Writer{f: f, hdr: j.Header, SyncEvery: DefaultSyncEvery, RepairedTorn: j.Torn, unlock: unlock}, j.Rows, nil
 }

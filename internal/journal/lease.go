@@ -1,0 +1,87 @@
+package journal
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+)
+
+// The pid/host lease sidecar is the fallback writer-exclusion mechanism
+// for platforms without flock (see lock_other.go). On unix the kernel
+// guarantees exclusion — the advisory lock dies with the process — but
+// where lockFile cannot flock, the previous behaviour was a silent
+// no-op: a believed-dead resume while the original run was still alive
+// would interleave rows and poison the journal with duplicate indices.
+//
+// The sidecar makes that double-resume fail loudly instead: acquiring
+// the journal writes `<journal>.lock` (O_EXCL) recording pid, hostname,
+// and start time; a second writer finds it and refuses, naming the
+// holder. Best-effort staleness recovery keeps crashes from wedging the
+// journal forever: a sidecar whose pid is provably dead on this host —
+// or whose content is torn — is stolen; a foreign-host sidecar can
+// never be verified and always refuses (delete it by hand once the
+// remote run is known dead). The sidecar is advisory, not atomic proof:
+// it narrows the silent-corruption window to a pid-reuse race, which is
+// the best a no-flock platform offers.
+
+// leaseSuffix is appended to the journal path to name its sidecar.
+const leaseSuffix = ".lock"
+
+// leaseInfo is the sidecar payload identifying the journal's writer.
+type leaseInfo struct {
+	PID     int    `json:"pid"`
+	Host    string `json:"host"`
+	Started string `json:"started"`
+}
+
+// acquireLease takes the sidecar lease for the journal at path,
+// returning the release func that removes it. It retries through
+// stale-holder recovery a bounded number of times so two live
+// contenders still converge on exactly one owner.
+func acquireLease(path string) (release func(), err error) {
+	lp := path + leaseSuffix
+	host, _ := os.Hostname()
+	for tries := 0; tries < 3; tries++ {
+		f, err := os.OpenFile(lp, os.O_WRONLY|os.O_CREATE|os.O_EXCL, 0o644)
+		if err == nil {
+			info := leaseInfo{PID: os.Getpid(), Host: host, Started: time.Now().UTC().Format(time.RFC3339)}
+			data, werr := json.Marshal(info)
+			if werr == nil {
+				_, werr = f.Write(append(data, '\n'))
+			}
+			if cerr := f.Close(); werr == nil {
+				werr = cerr
+			}
+			if werr != nil {
+				os.Remove(lp)
+				return nil, fmt.Errorf("journal: writing lease %s: %w", lp, werr)
+			}
+			return func() { os.Remove(lp) }, nil
+		}
+		if !os.IsExist(err) {
+			return nil, err
+		}
+		data, rerr := os.ReadFile(lp)
+		if rerr != nil {
+			if os.IsNotExist(rerr) {
+				continue // holder released between our two looks
+			}
+			return nil, rerr
+		}
+		var info leaseInfo
+		if json.Unmarshal(data, &info) != nil || info.PID <= 0 {
+			// A torn sidecar (crash mid-write) holds no live lease.
+			os.Remove(lp)
+			continue
+		}
+		if info.Host == host && !pidAlive(info.PID) {
+			// The holder died without releasing; steal the lease.
+			os.Remove(lp)
+			continue
+		}
+		return nil, fmt.Errorf("journal: leased by pid %d on %s since %s — is that run still writing it? (delete %s if it is dead)",
+			info.PID, info.Host, info.Started, lp)
+	}
+	return nil, fmt.Errorf("journal: lease %s is contended", lp)
+}

@@ -1,0 +1,83 @@
+package journal
+
+// The lease sidecar is the !unix lockFile fallback; the machinery is
+// portable, so these tests exercise it directly on every platform even
+// though the real unix path goes through flock instead.
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestLeaseExcludesLiveHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	release, err := acquireLease(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := acquireLease(path); err == nil {
+		t.Fatal("second acquire of a held lease succeeded")
+	} else if !strings.Contains(err.Error(), "leased by pid") {
+		t.Fatalf("second acquire error does not name the holder: %v", err)
+	}
+	release()
+	if _, err := os.Stat(path + leaseSuffix); !os.IsNotExist(err) {
+		t.Fatalf("release left the sidecar behind: %v", err)
+	}
+	release2, err := acquireLease(path)
+	if err != nil {
+		t.Fatalf("reacquire after release: %v", err)
+	}
+	release2()
+}
+
+func TestLeaseStealsDeadHolder(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	host, _ := os.Hostname()
+	// Far above any real pid space (default linux pid_max is 4194304),
+	// so the holder is provably dead on this host.
+	sidecar := `{"pid":1073741824,"host":"` + host + `","started":"2026-01-01T00:00:00Z"}` + "\n"
+	if err := os.WriteFile(path+leaseSuffix, []byte(sidecar), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := acquireLease(path)
+	if err != nil {
+		t.Fatalf("acquire over a dead holder's sidecar: %v", err)
+	}
+	release()
+}
+
+func TestLeaseRefusesForeignHost(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	sidecar := `{"pid":1,"host":"some-other-host.example","started":"2026-01-01T00:00:00Z"}` + "\n"
+	if err := os.WriteFile(path+leaseSuffix, []byte(sidecar), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	// A foreign host's pid cannot be probed, so the lease is never
+	// stale-reaped: the acquire must refuse loudly.
+	if _, err := acquireLease(path); err == nil {
+		t.Fatal("acquire over a foreign-host lease succeeded")
+	} else if !strings.Contains(err.Error(), "some-other-host.example") {
+		t.Fatalf("refusal does not name the foreign host: %v", err)
+	}
+}
+
+func TestLeaseStealsTornSidecar(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "run.jsonl")
+	if err := os.WriteFile(path+leaseSuffix, []byte(`{"pid":12`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	release, err := acquireLease(path)
+	if err != nil {
+		t.Fatalf("acquire over a torn sidecar: %v", err)
+	}
+	release()
+}
+
+func TestPidAliveSelf(t *testing.T) {
+	if !pidAlive(os.Getpid()) {
+		t.Fatal("our own pid reported dead")
+	}
+}

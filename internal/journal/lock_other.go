@@ -4,6 +4,25 @@ package journal
 
 import "os"
 
-// lockFile is a no-op where flock is unavailable; journal integrity
-// then rests on Create's O_EXCL and the duplicate-index checks in Read.
-func lockFile(*os.File) error { return nil }
+// lockFile cannot flock here, so writer exclusion falls back to the
+// best-effort pid/host lease sidecar (see lease.go): double-resume of a
+// live journal fails loudly naming the holder instead of silently
+// interleaving rows. The release removes the sidecar; a crash leaves it
+// behind for the staleness check to reap.
+func lockFile(f *os.File) (release func(), err error) {
+	return acquireLease(f.Name())
+}
+
+// pidAlive reports whether pid plausibly names a live process. Without
+// unix signal 0 the probe is platform-dependent: os.FindProcess fails
+// for a dead pid on Windows; elsewhere it always succeeds, which errs
+// on the conservative side (a stale lease then needs manual deletion —
+// loud, never corrupt).
+func pidAlive(pid int) bool {
+	p, err := os.FindProcess(pid)
+	if err != nil {
+		return false
+	}
+	_ = p
+	return true
+}

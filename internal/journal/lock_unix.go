@@ -12,10 +12,20 @@ import (
 // until the file is closed. Two writers on one journal — the classic
 // believed-dead resume while the original run is still alive — would
 // otherwise interleave rows and poison the file with duplicate trial
-// indices.
-func lockFile(f *os.File) error {
+// indices. The returned release is a no-op: the kernel drops the flock
+// with the file descriptor, crash included.
+func lockFile(f *os.File) (release func(), err error) {
 	if err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB); err != nil {
-		return fmt.Errorf("held by another process (%w)", err)
+		return nil, fmt.Errorf("held by another process (%w)", err)
 	}
-	return nil
+	return func() {}, nil
+}
+
+// pidAlive reports whether pid names a live process on this host:
+// signal 0 probes existence without delivering anything (EPERM still
+// means "alive, just not ours"). Used by the lease sidecar, which on
+// unix only runs in tests — flock covers the real path.
+func pidAlive(pid int) bool {
+	err := syscall.Kill(pid, 0)
+	return err == nil || err == syscall.EPERM
 }
