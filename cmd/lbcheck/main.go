@@ -3,11 +3,19 @@
 // strict periodicity, non-preemptive non-overlap with wrap-around,
 // precedence with communication delays, and optional memory capacity.
 //
+// It also inspects the observability sidecars the other tools leave
+// behind: `-runinfo` pretty-prints a telemetry sidecar (top stages by
+// share, memo hit rate, sink contention), and `-eventlog` verifies a
+// coordinator event log's framing checksums and record invariants and
+// summarises the fault decisions it records.
+//
 // Usage:
 //
 //	lbgen -tasks 60 > sys.json
 //	lbsim -input sys.json -procs 5 -csv sched.csv
 //	lbcheck -system sys.json -schedule sched.csv -procs 5
+//	lbcheck -runinfo artifacts/sweep.runinfo.json
+//	lbcheck -eventlog journals/sweep.events.jsonl
 package main
 
 import (
@@ -15,10 +23,14 @@ import (
 	"fmt"
 	"log"
 	"os"
+	"sort"
+	"time"
 
 	"repro/internal/arch"
+	"repro/internal/coord"
 	"repro/internal/metrics"
 	"repro/internal/model"
+	"repro/internal/obs"
 	"repro/internal/trace"
 )
 
@@ -26,13 +38,29 @@ func main() {
 	log.SetFlags(0)
 	log.SetPrefix("lbcheck: ")
 	var (
-		system   = flag.String("system", "", "task-system JSON file (required)")
-		schedule = flag.String("schedule", "", "schedule CSV file (required)")
+		system   = flag.String("system", "", "task-system JSON file (required unless -runinfo/-eventlog)")
+		schedule = flag.String("schedule", "", "schedule CSV file (required unless -runinfo/-eventlog)")
 		procs    = flag.Int("procs", 4, "number of processors the schedule targets")
 		commTime = flag.Int64("comm", 1, "inter-processor communication time C")
 		capacity = flag.Int64("cap", 0, "per-processor memory capacity (0 = unlimited)")
+
+		runinfo  = flag.String("runinfo", "", "pretty-print this runinfo telemetry sidecar and exit")
+		eventlog = flag.String("eventlog", "", "verify and summarise this coordinator event log and exit")
 	)
 	flag.Parse()
+	if *runinfo != "" || *eventlog != "" {
+		ok := true
+		if *runinfo != "" {
+			ok = printRunInfo(*runinfo) && ok
+		}
+		if *eventlog != "" {
+			ok = checkEventLog(*eventlog) && ok
+		}
+		if !ok {
+			os.Exit(1)
+		}
+		return
+	}
 	if *system == "" || *schedule == "" {
 		flag.Usage()
 		os.Exit(2)
@@ -81,4 +109,110 @@ func main() {
 		fmt.Println("  " + e.Error())
 	}
 	os.Exit(1)
+}
+
+// printRunInfo renders the digest a human wants from a telemetry
+// sidecar: where the time went (stages ranked by share of total stage
+// time), whether the prefix memo pulled its weight, and how much of
+// the sink wait was lock contention rather than journal work.
+func printRunInfo(path string) bool {
+	ri, err := obs.ReadRunInfo(path)
+	if err != nil {
+		log.Print(err)
+		return false
+	}
+	fmt.Printf("%s %q spec %.12s", ri.Tool, ri.Name, ri.SpecHash)
+	if ri.Shard != "" {
+		fmt.Printf(" shard %s", ri.Shard)
+	}
+	if ri.Trace != "" {
+		fmt.Printf(" trace %s span %s", ri.Trace, ri.Span)
+	}
+	fmt.Printf("\n%d trials, %d workers, elapsed %s\n",
+		ri.Trials, ri.Workers, time.Duration(ri.ElapsedNS).Round(time.Millisecond))
+	if ri.Obs == nil {
+		fmt.Println("no telemetry snapshot (run with -obs)")
+		return true
+	}
+	snap := ri.Obs
+
+	type row struct {
+		name string
+		st   obs.StageStats
+	}
+	var rows []row
+	var grand int64
+	for name, st := range snap.Stages {
+		if st.Count > 0 {
+			rows = append(rows, row{name, st})
+			grand += st.TotalNS
+		}
+	}
+	sort.Slice(rows, func(i, j int) bool {
+		if rows[i].st.TotalNS != rows[j].st.TotalNS {
+			return rows[i].st.TotalNS > rows[j].st.TotalNS
+		}
+		return rows[i].name < rows[j].name
+	})
+	fmt.Println("stages by share of total stage time:")
+	for _, r := range rows {
+		fmt.Printf("  %-15s %5.1f%%  n=%-8d total %-12s p50 %-10s p99 %-10s max %s\n",
+			r.name, 100*float64(r.st.TotalNS)/float64(max(grand, 1)), r.st.Count,
+			time.Duration(r.st.TotalNS).Round(time.Microsecond),
+			time.Duration(r.st.P50NS).Round(time.Microsecond),
+			time.Duration(r.st.P99NS).Round(time.Microsecond),
+			time.Duration(r.st.MaxNS).Round(time.Microsecond))
+	}
+
+	hits, misses := snap.Counters[obs.CounterMemoHit.String()], snap.Counters[obs.CounterMemoMiss.String()]
+	if hits+misses > 0 {
+		fmt.Printf("memo: %d hits / %d misses (%.1f%% hit rate)\n",
+			hits, misses, 100*float64(hits)/float64(hits+misses))
+	}
+	sink := snap.Stages[obs.StageSinkWait.String()]
+	app := snap.Stages[obs.StageJournalAppend.String()]
+	if sink.Count > 0 {
+		gap := sink.TotalNS - app.TotalNS
+		fmt.Printf("sink contention: %s waiting beyond the %s of journal appends (%.1f%% of sink time)\n",
+			time.Duration(gap).Round(time.Microsecond),
+			time.Duration(app.TotalNS).Round(time.Microsecond),
+			100*float64(gap)/float64(max(sink.TotalNS, 1)))
+	}
+	return true
+}
+
+// checkEventLog re-reads a coordinator event log under the same
+// framing rules the coordinator wrote it with (checksums verified,
+// torn tail dropped), re-checks every record invariant, and prints a
+// digest of the fault decisions the campaign took.
+func checkEventLog(path string) bool {
+	hdr, events, err := coord.ReadEventLog(path)
+	if err != nil {
+		log.Print(err)
+		return false
+	}
+	if err := coord.ValidateEvents(hdr, events); err != nil {
+		log.Printf("%s: %v", path, err)
+		return false
+	}
+	fmt.Printf("event log OK: campaign %q spec %.12s, %d ranges, %d events\n",
+		hdr.Name, hdr.SpecHash, hdr.Splits, len(events))
+	byType := map[coord.EventType]int{}
+	ranges := map[int]bool{}
+	for _, ev := range events {
+		byType[ev.Type]++
+		if ev.Range != nil {
+			ranges[ev.Range.Index] = true
+		}
+	}
+	var types []string
+	for t := range byType {
+		types = append(types, string(t))
+	}
+	sort.Strings(types)
+	for _, t := range types {
+		fmt.Printf("  %-22s %d\n", t, byType[coord.EventType(t)])
+	}
+	fmt.Printf("  ranges touched: %d of %d\n", len(ranges), hdr.Splits)
+	return true
 }

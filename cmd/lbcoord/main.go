@@ -25,7 +25,12 @@
 // with code 3; re-run the same command to finish.
 //
 // GET /v1/status on -listen serves the live lease table, worker pool,
-// and fault counters as JSON.
+// and fault counters as JSON; GET /metrics serves the same control
+// counters plus the merged fleet telemetry snapshot in Prometheus text
+// format. Every lease transition is additionally appended to a
+// checksummed event log (-eventlog), and the merged fleet snapshot is
+// written as a fleetinfo sidecar next to the artifacts. See
+// docs/observability.md.
 package main
 
 import (
@@ -38,6 +43,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
@@ -46,6 +52,7 @@ import (
 	"repro/internal/campaign"
 	"repro/internal/coord"
 	"repro/internal/model"
+	"repro/internal/obs"
 )
 
 const exitInterrupted = 3
@@ -80,6 +87,10 @@ func main() {
 		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "first retry delay for a failed range (doubles per failure)")
 		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "retry delay ceiling")
 		jitter      = flag.Float64("backoff-jitter", 0.2, "symmetric random jitter fraction on retry delays")
+
+		eventlogPath = flag.String("eventlog", "", "append every lease transition to this checksummed JSONL event log (default <journal-dir>/<name>"+coord.EventLogSuffix+"; 'none' disables)")
+		fleetOn      = flag.Bool("fleetinfo", true, "write the merged fleet telemetry sidecar <out>/<name>"+obs.FleetInfoSuffix+" next to the artifacts")
+		scrapeEvery  = flag.Duration("scrape", 5*time.Second, "scrape worker telemetry snapshots this often for the live fleet view (negative disables)")
 
 		noSpec       = flag.Bool("no-speculate", false, "disable speculative re-issue of straggling ranges")
 		slowFactor   = flag.Float64("slow-factor", 2, "speculate a range projected past this multiple of the median completed-range duration")
@@ -138,6 +149,30 @@ func main() {
 		n = len(trials)
 	}
 
+	// The event log lives with the shard journals: both are durable
+	// fault-tolerance records, and both survive an interrupted run for
+	// the re-run to extend.
+	var elog *coord.EventLog
+	if *eventlogPath != "none" {
+		hash, err := spec.Hash()
+		if err != nil {
+			log.Fatal(err)
+		}
+		path := *eventlogPath
+		if path == "" {
+			path = filepath.Join(*journalDir, spec.Name+coord.EventLogSuffix)
+		}
+		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+			log.Fatal(err)
+		}
+		elog, err = coord.OpenEventLog(path, spec.Name, hash, n)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer elog.Close()
+		log.Printf("event log: %s", path)
+	}
+
 	c, err := coord.New(coord.Config{
 		Spec:            spec,
 		Splits:          n,
@@ -147,6 +182,8 @@ func main() {
 		RPCTimeout:      *rpcTimeout,
 		MaxAttempts:     *maxAttempts,
 		Backoff:         coord.Backoff{Base: *backoffBase, Max: *backoffMax, Jitter: *jitter},
+		EventLog:        elog,
+		ScrapeInterval:  *scrapeEvery,
 		Straggler: coord.StragglerPolicy{
 			Disabled:     *noSpec,
 			MinCompleted: *minCompleted,
@@ -200,6 +237,20 @@ func main() {
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
 	fmt.Printf("fleet: %d registrations, %d deaths, %d dispatches, %d requeues, %d speculations, %d duplicates discarded\n",
 		st.Registered, st.DeadWorkers, st.Dispatches, st.Requeues, st.Speculations, st.DuplicatesDiscarded)
+
+	if *fleetOn {
+		// One last scrape of the surviving workers, on a fresh context:
+		// the run context may already be canceled by the drain path.
+		fctx, fcancel := context.WithTimeout(context.Background(), *rpcTimeout)
+		fi := c.FleetInfo(fctx)
+		fcancel()
+		fp := filepath.Join(*out, spec.Name+obs.FleetInfoSuffix)
+		if err := fi.Write(fp); err != nil {
+			log.Printf("writing fleetinfo: %v", err)
+		} else {
+			fmt.Printf("fleetinfo: %s\n", fp)
+		}
+	}
 }
 
 func split(s string) []string {

@@ -239,7 +239,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		bound, _, err := obs.Serve(*debugAddr, map[string]func() any{
+		bound, _, err := obs.Serve(*debugAddr, set.Snapshot, map[string]func() any{
 			"obs": func() any { return set.Snapshot() },
 			"lbfarm": func() any {
 				return map[string]any{"name": spec.Name, "spec_hash": specHash, "trials": hi - lo}
@@ -248,7 +248,7 @@ func main() {
 		if err != nil {
 			fatal(err)
 		}
-		log.Printf("debug endpoints on http://%s/debug/vars and /debug/pprof/", bound)
+		log.Printf("debug endpoints on http://%s/debug/vars, /metrics, and /debug/pprof/", bound)
 	}
 
 	var (

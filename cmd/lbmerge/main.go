@@ -43,7 +43,8 @@ func main() {
 
 		obsOn       = flag.Bool("obs", true, "time the merge fold and write the runinfo sidecar next to the artifacts; artifacts are byte-identical either way")
 		runinfoPath = flag.String("runinfo", "", "write the telemetry sidecar to this path (default <out>/<name>"+obs.RunInfoSuffix+")")
-		debugAddr   = flag.String("debug-addr", "", "serve live debug endpoints (expvar /debug/vars, net/http/pprof /debug/pprof/) on this host:port; port 0 picks one")
+		fleetOn     = flag.Bool("fleetinfo", true, "merge any per-shard runinfo sidecars found next to the input journals into <out>/<name>"+obs.FleetInfoSuffix)
+		debugAddr   = flag.String("debug-addr", "", "serve live debug endpoints (expvar /debug/vars, Prometheus /metrics, net/http/pprof /debug/pprof/) on this host:port; port 0 picks one")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -57,13 +58,13 @@ func main() {
 		set = obs.NewSet(1)
 	}
 	if *debugAddr != "" {
-		bound, _, err := obs.Serve(*debugAddr, map[string]func() any{
+		bound, _, err := obs.Serve(*debugAddr, set.Snapshot, map[string]func() any{
 			"obs": func() any { return set.Snapshot() },
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		log.Printf("debug endpoints on http://%s/debug/vars and /debug/pprof/", bound)
+		log.Printf("debug endpoints on http://%s/debug/vars, /metrics, and /debug/pprof/", bound)
 	}
 
 	rec := set.Aux()
@@ -134,7 +135,50 @@ func main() {
 			log.Fatal(err)
 		}
 		fmt.Printf("runinfo: %s\n", ripath)
+
+		if *fleetOn {
+			if fp := writeFleetInfo(*out, res.Spec.Name, hash, flag.Args()); fp != "" {
+				fmt.Printf("fleetinfo: %s\n", fp)
+			}
+		}
 	}
+}
+
+// writeFleetInfo is the fold-side fleet passthrough: each `lbfarm
+// -shard` run leaves a runinfo sidecar next to its shard journal;
+// merging those snapshots (the same order-independent bucket sums the
+// coordinator's live scrape uses) yields the campaign-level view even
+// for a manually-sharded run that never had a coordinator. Shards
+// without a sidecar simply contribute nothing; with none at all, no
+// fleetinfo is written.
+func writeFleetInfo(out, name, hash string, shardPaths []string) string {
+	fi := obs.NewFleetInfo("lbmerge")
+	fi.Name = name
+	fi.SpecHash = hash
+	fi.Shards = len(shardPaths)
+	var snaps []*obs.Snapshot
+	for _, p := range shardPaths {
+		ri, err := obs.ReadRunInfo(strings.TrimSuffix(p, filepath.Ext(p)) + obs.RunInfoSuffix)
+		if err != nil {
+			continue
+		}
+		id := ri.Host.Hostname
+		if id == "" {
+			id = filepath.Base(p)
+		}
+		fi.Workers = append(fi.Workers, obs.FleetWorker{ID: id + ":" + ri.Shard, Alive: true, ElapsedNS: ri.ElapsedNS})
+		snaps = append(snaps, ri.Obs)
+	}
+	if len(snaps) == 0 {
+		return ""
+	}
+	fi.Obs = obs.MergeSnapshots(snaps...)
+	path := filepath.Join(out, name+obs.FleetInfoSuffix)
+	if err := fi.Write(path); err != nil {
+		log.Printf("writing fleetinfo: %v", err)
+		return ""
+	}
+	return path
 }
 
 // split breaks a comma-separated flag value into trimmed parts.

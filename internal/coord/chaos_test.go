@@ -13,6 +13,7 @@ import (
 	"errors"
 	"net/http/httptest"
 	"os"
+	"strings"
 	"sync/atomic"
 	"testing"
 	"time"
@@ -265,6 +266,7 @@ func (f *fakeWorker) Snapshot(context.Context) (*obs.Snapshot, error) { return n
 // merge must still be byte-identical.
 func TestDuplicateCompletionOfReissuedRange(t *testing.T) {
 	cfg := testConfig(t, 1)
+	elogPath := withEventLog(t, &cfg)
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -330,6 +332,21 @@ func TestDuplicateCompletionOfReissuedRange(t *testing.T) {
 		t.Fatal(err)
 	}
 	checkArtifacts(t, res)
+
+	// The flight recorder must show exactly one landing and one discard.
+	_, events := mustReadEvents(t, elogPath)
+	landed, discarded := 0, 0
+	for _, ev := range events {
+		switch ev.Type {
+		case EvShardLanded:
+			landed++
+		case EvDuplicateDiscard:
+			discarded++
+		}
+	}
+	if landed != 1 || discarded != 1 {
+		t.Errorf("event log records %d landings and %d discards, want 1 and 1", landed, discarded)
+	}
 }
 
 // TestCoordinatorRestartOverHalfFinishedTable: a coordinator is killed
@@ -389,6 +406,7 @@ func TestCoordinatorRestartOverHalfFinishedTable(t *testing.T) {
 func TestStragglerSpeculativeReissue(t *testing.T) {
 	cfg := testConfig(t, 2)
 	cfg.Straggler = StragglerPolicy{MinCompleted: 1, SlowFactor: 2}
+	elogPath := withEventLog(t, &cfg)
 	c, err := New(cfg)
 	if err != nil {
 		t.Fatal(err)
@@ -408,6 +426,22 @@ func TestStragglerSpeculativeReissue(t *testing.T) {
 	checkArtifacts(t, res)
 	if st := c.Stats(); st.Speculations < 1 {
 		t.Errorf("speculations = %d, want >= 1", st.Speculations)
+	}
+
+	// The speculation decision must be on the record, naming both the
+	// straggler it fled and the twin it was re-issued to.
+	_, events := mustReadEvents(t, elogPath)
+	found := false
+	for _, ev := range events {
+		if ev.Type == EvSpeculate {
+			found = true
+			if ev.Worker != "w-fast" || !strings.Contains(ev.Detail, "w-slow") {
+				t.Errorf("speculate event names worker %q detail %q, want twin w-fast fleeing w-slow", ev.Worker, ev.Detail)
+			}
+		}
+	}
+	if !found {
+		t.Error("no speculate event in the log")
 	}
 }
 

@@ -10,6 +10,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // Config parameterises a Coordinator. Spec, Splits, and JournalDir are
@@ -49,6 +50,19 @@ type Config struct {
 
 	// Straggler is the speculative re-issue policy.
 	Straggler StragglerPolicy
+
+	// EventLog, when non-nil, receives the structured control-plane
+	// event stream (see eventlog.go). Append failures are sticky on the
+	// log, never campaign-fatal.
+	EventLog *EventLog
+
+	// ScrapeInterval is the fleet telemetry cadence: every interval the
+	// scheduler refreshes each worker's obs snapshot over the control
+	// API, feeding the live campaign snapshot (FleetSnapshot, /metrics)
+	// and the end-of-run fleetinfo sidecar. The straggler detector
+	// consumes the same cached scrapes. 0 defaults to 5s; negative
+	// disables the periodic loop (stragglers then scrape on demand).
+	ScrapeInterval time.Duration
 
 	// Dial builds a Worker handle from a registration (default: the
 	// HTTP Client). Tests inject fault-wrapped handles here.
@@ -105,6 +119,12 @@ type workerState struct {
 	lastSeen time.Time
 	status   WorkerStatus
 	lease    int // index into leases, -1 when idle
+
+	// snap is the last telemetry snapshot scraped from this worker (nil
+	// until the first scrape succeeds); snapAt is when. The scrape loop
+	// and the straggler detector share this cache — one scrape path.
+	snap   *obs.Snapshot
+	snapAt time.Time
 }
 
 // Coordinator owns the lease table and drives the campaign to a merged
@@ -114,12 +134,19 @@ type Coordinator struct {
 	cfg      Config
 	specHash string
 	total    int
+	start    time.Time // the event log's monotonic time base
 
 	mu      sync.Mutex
 	leases  []*lease
 	workers map[string]*workerState
 	stats   Stats
 	fatal   error
+
+	// lastScrape gates the periodic fleet scrape; gone keeps the stubs
+	// of buried workers for the fleetinfo sidecar (their telemetry is
+	// deliberately dropped: the merged snapshot sums survivors only).
+	lastScrape time.Time
+	gone       []obs.FleetWorker
 }
 
 // New validates the config, cuts the spec into ranges, and recovers the
@@ -175,12 +202,17 @@ func New(cfg Config) (*Coordinator, error) {
 	if cfg.jitter == nil {
 		cfg.jitter = jitterDraw
 	}
+	if cfg.ScrapeInterval == 0 {
+		cfg.ScrapeInterval = 5 * time.Second
+	}
 
-	c := &Coordinator{cfg: cfg, specHash: hash, total: len(trials), workers: map[string]*workerState{}}
+	c := &Coordinator{cfg: cfg, specHash: hash, total: len(trials), start: time.Now(), workers: map[string]*workerState{}}
 	for i := 0; i < cfg.Splits; i++ {
 		lo, hi := journal.ShardRange(len(trials), i, cfg.Splits)
+		rng := Range{Index: i, Count: cfg.Splits, Lo: lo, Hi: hi}
 		c.leases = append(c.leases, &lease{
-			rng:     Range{Index: i, Count: cfg.Splits, Lo: lo, Hi: hi},
+			rng:     rng,
+			trace:   traceID(hash, rng),
 			workers: map[string]string{},
 		})
 	}
@@ -188,6 +220,30 @@ func New(cfg Config) (*Coordinator, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// event stamps the monotonic time base on ev and appends it to the
+// configured event log (a no-op when logging is disabled). Callers fill
+// every other field; range-scoped callers should use rangeEvent.
+func (c *Coordinator) event(ev Event) {
+	ev.MonoNS = int64(time.Since(c.start))
+	c.cfg.EventLog.Append(ev)
+}
+
+// rangeEvent pre-fills the range-scoped fields (range, job, trace,
+// span, attempt, resulting lease state) of an event about lease l.
+// Call under c.mu — it reads lease state.
+func (c *Coordinator) rangeEvent(typ EventType, l *lease) Event {
+	rng := l.rng
+	return Event{
+		Type:    typ,
+		Range:   &rng,
+		Job:     c.jobID(l.rng),
+		Trace:   l.trace,
+		Span:    spanID(l.trace, l.dispatches),
+		Attempt: l.dispatches,
+		State:   l.state.String(),
+	}
 }
 
 // shardPath is the on-disk name of one range's journal, matching the
@@ -227,6 +283,7 @@ func (c *Coordinator) recover() error {
 		l.path = path
 		c.stats.Journaled++
 		c.stats.RecoveredJournals++
+		c.event(c.rangeEvent(EvShardRecovered, l))
 		c.cfg.Logf("recovered shard %d/%d from %s", l.rng.Index+1, l.rng.Count, path)
 	}
 	return nil
@@ -269,11 +326,13 @@ func (c *Coordinator) AddWorker(w Worker) {
 	if prev, ok := c.workers[id]; ok {
 		prev.w = w
 		prev.lastSeen = time.Now()
+		c.event(Event{Type: EvReRegistered, Worker: id})
 		c.cfg.Logf("worker %s re-registered", id)
 		return
 	}
 	c.workers[id] = &workerState{w: w, lastSeen: time.Now(), lease: -1}
 	c.stats.Registered++
+	c.event(Event{Type: EvRegistered, Worker: id})
 	c.cfg.Logf("worker %s registered (%d in pool)", id, len(c.workers))
 }
 
@@ -329,6 +388,7 @@ func (c *Coordinator) Status() StatusSnapshot {
 		s.Leases = append(s.Leases, LeaseView{
 			Range:      l.rng,
 			State:      l.state.String(),
+			Trace:      l.trace,
 			Workers:    ids,
 			Dispatches: l.dispatches,
 			Failures:   l.failures,

@@ -1,0 +1,406 @@
+package coord
+
+// The coordinator event log is the durable flight recorder of a
+// campaign's control plane: every lease transition, liveness decision,
+// retry, speculation, and landing appends one structured record, so a
+// chaotic multi-host run can be reconstructed — and asserted on —
+// after the fact. Records use the journal framing idiom
+// (`<length:8 hex> <crc32c:8 hex> <payload JSON>\n`) for the same
+// reason journals do: a coordinator killed mid-append leaves at most
+// one torn tail record, which the reader drops, while corruption
+// anywhere earlier is reported as a hard error rather than silently
+// skipped. The first record is the EventLogHeader binding the file to
+// a campaign; the log opens in append mode, so a restarted coordinator
+// extends the history instead of erasing it.
+//
+// The log sits outside the artifact byte-identity contract, like every
+// sidecar: it records wall-clock decisions that legitimately differ
+// between byte-identical runs.
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"strconv"
+	"sync"
+)
+
+const (
+	// EventLogMagic identifies a coordinator event log; EventLogVersion
+	// its record schema.
+	EventLogMagic   = "lbevents"
+	EventLogVersion = 1
+
+	// EventLogSuffix is the conventional file name suffix:
+	// <campaign>+EventLogSuffix next to the journal dir.
+	EventLogSuffix = ".events.jsonl"
+)
+
+// eventCastagnoli matches the journal's CRC-32C polynomial.
+var eventCastagnoli = crc32.MakeTable(crc32.Castagnoli)
+
+// EventType names one kind of control-plane event. The catalogue is
+// closed: ValidateEvents rejects unknown types, so consumers can
+// switch exhaustively (docs/observability.md documents each).
+type EventType string
+
+const (
+	// EvRegistered / EvReRegistered: a worker joined (or rejoined after
+	// a restart) the pool.
+	EvRegistered   EventType = "worker_registered"
+	EvReRegistered EventType = "worker_reregistered"
+	// EvWorkerDead: liveness timeout expired — the worker is buried and
+	// any lease it held is about to re-queue.
+	EvWorkerDead EventType = "worker_dead"
+	// EvDispatch: a range was assigned and started on a worker
+	// (Attempt counts every Start of the range, speculation included).
+	EvDispatch EventType = "dispatch"
+	// EvSpeculate: the straggler detector re-issued a leased range to a
+	// second worker; Detail carries the projection/diagnosis.
+	EvSpeculate EventType = "speculate"
+	// EvAmnesia: a status poll found the worker alive but without its
+	// job — it restarted and lost the assignment.
+	EvAmnesia EventType = "amnesia"
+	// EvJobFailed: the worker reported the job failed; Detail carries
+	// the worker's error.
+	EvJobFailed EventType = "job_failed"
+	// EvRequeue: a failed attempt put the range back in the pending
+	// queue; BackoffNS is the retry delay, Attempt the failure count.
+	EvRequeue EventType = "requeue"
+	// EvJournalRejected: a fetched journal failed validation and was
+	// discarded (counts as a failed attempt).
+	EvJournalRejected EventType = "journal_rejected"
+	// EvDuplicateDiscard: the slower twin of a speculated range handed
+	// back a journal after the winner landed; it was discarded.
+	EvDuplicateDiscard EventType = "duplicate_discard"
+	// EvShardLanded: a validated shard journal was written under the
+	// coordinator's journal dir; the lease is journaled.
+	EvShardLanded EventType = "shard_landed"
+	// EvShardRecovered: a restarted coordinator seated an
+	// already-fetched journal from disk without re-running the range.
+	EvShardRecovered EventType = "shard_recovered"
+	// EvFatal: the campaign turned fatal (range out of attempts, or an
+	// unrecoverable landing error).
+	EvFatal EventType = "fatal"
+	// EvMerged: every shard folded into the final artifact.
+	EvMerged EventType = "merged"
+)
+
+// knownEventTypes is the closed catalogue ValidateEvents enforces.
+var knownEventTypes = map[EventType]bool{
+	EvRegistered: true, EvReRegistered: true, EvWorkerDead: true,
+	EvDispatch: true, EvSpeculate: true, EvAmnesia: true,
+	EvJobFailed: true, EvRequeue: true, EvJournalRejected: true,
+	EvDuplicateDiscard: true, EvShardLanded: true, EvShardRecovered: true,
+	EvFatal: true, EvMerged: true,
+}
+
+// EventLogHeader is the first record of every event log, binding it to
+// one campaign.
+type EventLogHeader struct {
+	Magic    string `json:"magic"`
+	Version  int    `json:"version"`
+	Name     string `json:"name"`
+	SpecHash string `json:"spec_hash"`
+	Splits   int    `json:"splits"`
+}
+
+// Event is one control-plane record. MonoNS is monotonic nanoseconds
+// since the emitting coordinator started (restarts reset it — compare
+// Seq across restarts, MonoNS within one). Range/Job/Trace/Span are
+// set on every range-scoped event; Span names the specific dispatch
+// attempt, Trace the range across all attempts.
+type Event struct {
+	Seq       int64     `json:"seq"`
+	MonoNS    int64     `json:"mono_ns"`
+	Type      EventType `json:"type"`
+	Worker    string    `json:"worker,omitempty"`
+	Range     *Range    `json:"range,omitempty"`
+	Job       string    `json:"job,omitempty"`
+	Trace     string    `json:"trace,omitempty"`
+	Span      string    `json:"span,omitempty"`
+	Attempt   int       `json:"attempt,omitempty"`
+	State     string    `json:"state,omitempty"` // lease state after the event
+	BackoffNS int64     `json:"backoff_ns,omitempty"`
+	Detail    string    `json:"detail,omitempty"`
+}
+
+// EventLog is the append-only writer. Append errors are sticky and
+// deliberately not campaign-fatal: losing the flight recorder is worth
+// a loud log line, not an aborted sweep — callers check Err at the end.
+type EventLog struct {
+	mu   sync.Mutex
+	f    *os.File
+	seq  int64
+	err  error
+	path string
+}
+
+// frameEvent renders one framed record line.
+func frameEvent(payload []byte) []byte {
+	out := make([]byte, 0, len(payload)+19)
+	out = fmt.Appendf(out, "%08x %08x ", len(payload), crc32.Checksum(payload, eventCastagnoli))
+	out = append(out, payload...)
+	return append(out, '\n')
+}
+
+// OpenEventLog opens (or creates) the event log at path for the given
+// campaign. A new file gets the header record; an existing file is
+// read back first — its header must match the campaign, and the writer
+// continues the Seq sequence after the last intact record, so a
+// coordinator restart extends the history.
+func OpenEventLog(path, name, specHash string, splits int) (*EventLog, error) {
+	e := &EventLog{path: path}
+	if data, err := os.ReadFile(path); err == nil && len(data) > 0 {
+		hdr, events, rerr := decodeEventLog(path, data)
+		if rerr != nil {
+			return nil, fmt.Errorf("coord: reopening event log: %w — delete the file to start a fresh log", rerr)
+		}
+		if hdr.SpecHash != specHash {
+			return nil, fmt.Errorf("coord: event log %s carries spec %.12s…, campaign is %.12s… — delete it to start a fresh log", path, hdr.SpecHash, specHash)
+		}
+		if n := len(events); n > 0 {
+			e.seq = events[n-1].Seq
+		}
+		f, err := os.OpenFile(path, os.O_WRONLY|os.O_APPEND, 0o644)
+		if err != nil {
+			return nil, err
+		}
+		e.f = f
+		return e, nil
+	}
+	f, err := os.OpenFile(path, os.O_WRONLY|os.O_CREATE|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	hdr := EventLogHeader{Magic: EventLogMagic, Version: EventLogVersion, Name: name, SpecHash: specHash, Splits: splits}
+	payload, err := json.Marshal(hdr)
+	if err == nil {
+		_, err = f.Write(frameEvent(payload))
+	}
+	if err == nil {
+		err = f.Sync()
+	}
+	if err != nil {
+		f.Close()
+		os.Remove(path)
+		return nil, fmt.Errorf("coord: creating event log: %w", err)
+	}
+	e.f = f
+	return e, nil
+}
+
+// Append stamps the next sequence number on ev and writes it, fsyncing
+// per record — events are low-rate and each one is a fault-handling
+// decision worth surviving a crash. The first failure is retained; all
+// later appends are no-ops.
+func (e *EventLog) Append(ev Event) {
+	if e == nil {
+		return
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.err != nil {
+		return
+	}
+	e.seq++
+	ev.Seq = e.seq
+	payload, err := json.Marshal(ev)
+	if err == nil {
+		_, err = e.f.Write(frameEvent(payload))
+	}
+	if err == nil {
+		err = e.f.Sync()
+	}
+	if err != nil {
+		e.err = fmt.Errorf("coord: appending event log: %w", err)
+	}
+}
+
+// Err returns the sticky append error, if any.
+func (e *EventLog) Err() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.err
+}
+
+// Path returns the log's file path.
+func (e *EventLog) Path() string {
+	if e == nil {
+		return ""
+	}
+	return e.path
+}
+
+// Close syncs and closes the log.
+func (e *EventLog) Close() error {
+	if e == nil {
+		return nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if e.f == nil {
+		return e.err
+	}
+	serr := e.f.Sync()
+	cerr := e.f.Close()
+	e.f = nil
+	if e.err != nil {
+		return e.err
+	}
+	if serr != nil {
+		return serr
+	}
+	return cerr
+}
+
+// ReadEventLog parses an event log: header plus every intact event in
+// order. A torn final record (the signature of a killed writer) is
+// dropped; any earlier framing or checksum violation is a hard error.
+func ReadEventLog(path string) (EventLogHeader, []Event, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return EventLogHeader{}, nil, err
+	}
+	return decodeEventLog(path, data)
+}
+
+// decodeEventLog is ReadEventLog over bytes already in hand. The torn
+// rule matches the journal's: a final record that fails to frame or
+// decode — with nothing after it — is a killed writer's tail and is
+// dropped; the same failure anywhere earlier is corruption and errors.
+func decodeEventLog(name string, data []byte) (EventLogHeader, []Event, error) {
+	var hdr EventLogHeader
+	var events []Event
+	recno := 0
+	for len(data) > 0 {
+		var line []byte
+		torn := false
+		if nl := bytes.IndexByte(data, '\n'); nl < 0 {
+			line, data, torn = data, nil, true
+		} else {
+			line, data = data[:nl], data[nl+1:]
+			torn = len(data) == 0
+		}
+		payload, err := unframeEvent(line)
+		if err != nil {
+			if torn && recno > 0 {
+				break // torn tail: writer died mid-append
+			}
+			return hdr, nil, fmt.Errorf("coord: %s record %d: %w", name, recno, err)
+		}
+		if recno == 0 {
+			if err := json.Unmarshal(payload, &hdr); err != nil {
+				return hdr, nil, fmt.Errorf("coord: %s: decoding header: %w", name, err)
+			}
+			if hdr.Magic != EventLogMagic {
+				return hdr, nil, fmt.Errorf("coord: %s is not an event log (magic %q)", name, hdr.Magic)
+			}
+			if hdr.Version != EventLogVersion {
+				return hdr, nil, fmt.Errorf("coord: %s is event log version %d, this build reads %d", name, hdr.Version, EventLogVersion)
+			}
+		} else {
+			var ev Event
+			if err := json.Unmarshal(payload, &ev); err != nil {
+				if torn {
+					break
+				}
+				return hdr, nil, fmt.Errorf("coord: %s record %d: decoding event: %w", name, recno, err)
+			}
+			events = append(events, ev)
+		}
+		recno++
+	}
+	if recno == 0 {
+		return hdr, nil, fmt.Errorf("coord: %s: empty event log", name)
+	}
+	return hdr, events, nil
+}
+
+// unframeEvent validates one framed line and returns its payload.
+func unframeEvent(line []byte) ([]byte, error) {
+	if len(line) < 18 || line[8] != ' ' || line[17] != ' ' {
+		return nil, fmt.Errorf("malformed frame")
+	}
+	length, err := strconv.ParseUint(string(line[:8]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed length: %w", err)
+	}
+	sum, err := strconv.ParseUint(string(line[9:17]), 16, 32)
+	if err != nil {
+		return nil, fmt.Errorf("malformed checksum: %w", err)
+	}
+	payload := line[18:]
+	if uint64(len(payload)) != length {
+		return nil, fmt.Errorf("length %d, frame says %d", len(payload), length)
+	}
+	if uint64(crc32.Checksum(payload, eventCastagnoli)) != sum {
+		return nil, fmt.Errorf("checksum mismatch")
+	}
+	return payload, nil
+}
+
+// ValidateEvents checks a decoded log against the record schema: known
+// event types only, strictly increasing Seq, and the per-type required
+// fields (range-scoped events carry range, job, and trace; worker
+// events carry the worker ID). This is what the CI smoke leg runs over
+// a real chaos run's log.
+func ValidateEvents(hdr EventLogHeader, events []Event) error {
+	if hdr.Magic != EventLogMagic {
+		return fmt.Errorf("coord: bad event log magic %q", hdr.Magic)
+	}
+	var lastSeq int64
+	for i, ev := range events {
+		if !knownEventTypes[ev.Type] {
+			return fmt.Errorf("coord: event %d: unknown type %q", i, ev.Type)
+		}
+		if ev.Seq <= lastSeq {
+			return fmt.Errorf("coord: event %d: seq %d not increasing (prev %d)", i, ev.Seq, lastSeq)
+		}
+		lastSeq = ev.Seq
+		if ev.MonoNS < 0 {
+			return fmt.Errorf("coord: event %d: negative mono_ns", i)
+		}
+		switch ev.Type {
+		case EvDispatch, EvSpeculate, EvRequeue, EvShardLanded, EvShardRecovered,
+			EvDuplicateDiscard, EvJournalRejected, EvJobFailed, EvAmnesia:
+			if ev.Range == nil {
+				return fmt.Errorf("coord: event %d (%s): missing range", i, ev.Type)
+			}
+			if ev.Trace == "" {
+				return fmt.Errorf("coord: event %d (%s): missing trace", i, ev.Type)
+			}
+			if ev.Job == "" {
+				return fmt.Errorf("coord: event %d (%s): missing job", i, ev.Type)
+			}
+		}
+		switch ev.Type {
+		case EvRegistered, EvReRegistered, EvWorkerDead, EvDispatch, EvSpeculate,
+			EvAmnesia, EvJobFailed, EvDuplicateDiscard, EvJournalRejected, EvShardLanded:
+			if ev.Worker == "" {
+				return fmt.Errorf("coord: event %d (%s): missing worker", i, ev.Type)
+			}
+		}
+		if ev.Type == EvRequeue && ev.Attempt < 1 {
+			return fmt.Errorf("coord: event %d: requeue without attempt count", i)
+		}
+	}
+	return nil
+}
+
+// RangeHistory filters the events of one range index, in order — the
+// full lease history a post-mortem (or the chaos test) reconstructs.
+func RangeHistory(events []Event, index int) []Event {
+	var out []Event
+	for _, ev := range events {
+		if ev.Range != nil && ev.Range.Index == index {
+			out = append(out, ev)
+		}
+	}
+	return out
+}

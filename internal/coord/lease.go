@@ -92,6 +92,10 @@ type lease struct {
 	rng   Range
 	state State
 
+	// trace is the range-stable trace ID (traceID), minted once at
+	// construction and echoed on every event, dispatch, and sidecar.
+	trace string
+
 	// workers maps the IDs currently running this range (primary plus
 	// any speculative twin) to the dispatched job ID.
 	workers map[string]string
@@ -124,6 +128,7 @@ type lease struct {
 type LeaseView struct {
 	Range      Range    `json:"range"`
 	State      string   `json:"state"`
+	Trace      string   `json:"trace,omitempty"`
 	Workers    []string `json:"workers,omitempty"`
 	Dispatches int      `json:"dispatches"`
 	Failures   int      `json:"failures"`

@@ -1,0 +1,58 @@
+package coord
+
+// Prometheus exposition for the control plane: fleet-wide gauges and
+// fault counters under the lbcoord_ prefix, plus the merged campaign
+// snapshot (cached worker scrapes folded by FleetSnapshot) under
+// lbfleet_ — histograms rendered as cumulative buckets by the obs
+// writer. Served on GET /metrics by the coordinator's Handler.
+
+import (
+	"io"
+
+	"repro/internal/obs"
+)
+
+// WriteMetrics renders the coordinator's full metric surface in the
+// Prometheus text format.
+func (c *Coordinator) WriteMetrics(w io.Writer) error {
+	c.mu.Lock()
+	stats := c.stats
+	pool := len(c.workers)
+	var leaseCounts [4]int
+	for _, l := range c.leases {
+		if l.state >= 0 && int(l.state) < len(leaseCounts) {
+			leaseCounts[l.state]++
+		}
+	}
+	c.mu.Unlock()
+	fleet := c.FleetSnapshot()
+
+	p := obs.NewPromWriter(w)
+	p.Gauge("lbcoord_workers", "Registered workers currently in the pool.",
+		obs.Sample{Value: float64(pool)})
+	leaseSamples := make([]obs.Sample, 0, len(leaseCounts))
+	for st := StatePending; st <= StateMerged; st++ {
+		leaseSamples = append(leaseSamples, obs.Sample{
+			Labels: []obs.Label{{Name: "state", Value: st.String()}},
+			Value:  float64(leaseCounts[st]),
+		})
+	}
+	p.Gauge("lbcoord_leases", "Shard ranges by lease state.", leaseSamples...)
+	for _, m := range []struct {
+		name, help string
+		v          int
+	}{
+		{"lbcoord_workers_registered_total", "Worker registrations accepted.", stats.Registered},
+		{"lbcoord_workers_dead_total", "Workers declared dead by the liveness timeout.", stats.DeadWorkers},
+		{"lbcoord_dispatches_total", "Range dispatches (speculative re-issues included).", stats.Dispatches},
+		{"lbcoord_requeues_total", "Failed range attempts re-queued behind backoff.", stats.Requeues},
+		{"lbcoord_speculations_total", "Speculative re-issues of straggling ranges.", stats.Speculations},
+		{"lbcoord_duplicates_discarded_total", "Journals from slower twins discarded after the winner landed.", stats.DuplicatesDiscarded},
+		{"lbcoord_ranges_journaled_total", "Ranges with a validated shard journal on disk.", stats.Journaled},
+		{"lbcoord_recovered_journals_total", "Shard journals seated from disk at startup.", stats.RecoveredJournals},
+	} {
+		p.Counter(m.name, m.help, obs.Sample{Value: float64(m.v)})
+	}
+	p.Snapshot("lbfleet_", fleet)
+	return p.Err()
+}

@@ -11,6 +11,7 @@ import (
 
 	"repro/internal/campaign"
 	"repro/internal/journal"
+	"repro/internal/obs"
 )
 
 // Run drives the campaign to completion: each Poll tick it polls worker
@@ -99,6 +100,7 @@ func (c *Coordinator) merge() (*campaign.Result, error) {
 	for _, l := range c.leases {
 		l.state = StateMerged
 	}
+	c.event(Event{Type: EvMerged, Detail: fmt.Sprintf("%d shards, %d trials", len(paths), len(res.Trials))})
 	c.mu.Unlock()
 	c.cfg.Logf("merged %d shards: %d trials", len(paths), len(res.Trials))
 	return res, nil
@@ -115,6 +117,7 @@ func (c *Coordinator) step(ctx context.Context) {
 		c.dispatch(ctx, s)
 	}
 	c.speculate(ctx)
+	c.scrape(ctx)
 }
 
 // poll asks every worker with a lease for job status (doubling as a
@@ -157,6 +160,10 @@ func (c *Coordinator) poll(ctx context.Context) {
 			ws.lastSeen = time.Now()
 			ws.status = WorkerStatus{}
 			if ws.lease >= 0 {
+				ev := c.rangeEvent(EvAmnesia, c.leases[ws.lease])
+				ev.Worker = p.id
+				ev.Detail = "worker restarted and lost the job"
+				c.event(ev)
 				c.cfg.Logf("worker %s lost job %s — re-queueing range %d", p.id, p.jobID, ws.lease)
 				c.detach(ws.lease, p.id, "worker lost the job")
 				ws.lease = -1
@@ -190,8 +197,22 @@ func (c *Coordinator) transition() []fetchOrder {
 			continue
 		}
 		c.stats.DeadWorkers++
+		ev := Event{Type: EvWorkerDead, Worker: id,
+			Detail: fmt.Sprintf("silent for %v", now.Sub(ws.lastSeen).Round(time.Millisecond))}
+		if ws.lease >= 0 {
+			l := c.leases[ws.lease]
+			rng := l.rng
+			ev.Range, ev.Job, ev.Trace = &rng, c.jobID(l.rng), l.trace
+			ev.Span, ev.Attempt = spanID(l.trace, l.dispatches), l.dispatches
+		}
+		c.event(ev)
 		c.cfg.Logf("worker %s silent for %v — declaring dead (%d workers remain)",
 			id, now.Sub(ws.lastSeen).Round(time.Millisecond), len(c.workers)-1)
+		stub := obs.FleetWorker{ID: id}
+		if ws.snap != nil {
+			stub.ElapsedNS = ws.snap.ElapsedNS
+		}
+		c.gone = append(c.gone, stub)
 		if ws.lease >= 0 {
 			c.detach(ws.lease, id, "worker died")
 		}
@@ -214,6 +235,9 @@ func (c *Coordinator) transition() []fetchOrder {
 				fetches = append(fetches, fetchOrder{ws.lease, id, ws.w, jobID})
 			}
 		case JobFailed:
+			ev := c.rangeEvent(EvJobFailed, l)
+			ev.Worker, ev.Detail = id, ws.status.Err
+			c.event(ev)
 			c.cfg.Logf("worker %s failed job %s: %s", id, jobID, ws.status.Err)
 			c.detach(ws.lease, id, ws.status.Err)
 			ws.lease = -1
@@ -239,12 +263,18 @@ func (c *Coordinator) detach(leaseIdx int, id, reason string) {
 		l.state = StatePending
 		c.fatal = fmt.Errorf("coord: range %d/%d [%d,%d) failed %d attempts, last error: %s",
 			l.rng.Index+1, l.rng.Count, l.rng.Lo, l.rng.Hi, l.failures, reason)
+		ev := c.rangeEvent(EvFatal, l)
+		ev.Attempt, ev.Detail = l.failures, c.fatal.Error()
+		c.event(ev)
 		return
 	}
 	delay := c.cfg.Backoff.Delay(l.failures, c.cfg.jitter)
 	l.state = StatePending
 	l.notBefore = time.Now().Add(delay)
 	c.stats.Requeues++
+	ev := c.rangeEvent(EvRequeue, l)
+	ev.Worker, ev.Attempt, ev.BackoffNS, ev.Detail = id, l.failures, int64(delay), reason
+	c.event(ev)
 	c.cfg.Logf("range %d/%d re-queued (failure %d/%d, retry in %v): %s",
 		l.rng.Index+1, l.rng.Count, l.failures, c.cfg.MaxAttempts, delay.Round(time.Millisecond), reason)
 }
@@ -279,6 +309,9 @@ func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
 			// A worker handing back a corrupt or wrong journal is a failed
 			// attempt like any other; the range re-runs elsewhere.
 			c.mu.Lock()
+			ev := c.rangeEvent(EvJournalRejected, l)
+			ev.Worker, ev.Detail = f.id, err.Error()
+			c.event(ev)
 			c.cfg.Logf("rejecting journal of %s from %s: %v", f.jobID, f.id, err)
 			c.detach(f.leaseIdx, f.id, fmt.Sprintf("invalid journal: %v", err))
 			if ws, ok := c.workers[f.id]; ok {
@@ -292,6 +325,9 @@ func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
 		if l.state != StateLeased {
 			// The twin already landed this range: first journal wins.
 			c.stats.DuplicatesDiscarded++
+			ev := c.rangeEvent(EvDuplicateDiscard, l)
+			ev.Worker, ev.Detail = f.id, "slower twin's journal discarded"
+			c.event(ev)
 			c.cfg.Logf("range %d/%d: duplicate journal from %s discarded", l.rng.Index+1, l.rng.Count, f.id)
 			delete(l.workers, f.id)
 			if ws, ok := c.workers[f.id]; ok {
@@ -313,6 +349,9 @@ func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
 			os.Remove(tmp)
 			c.mu.Lock()
 			c.fatal = fmt.Errorf("coord: landing %s: %w", filepath.Base(path), err)
+			ev := c.rangeEvent(EvFatal, l)
+			ev.Detail = c.fatal.Error()
+			c.event(ev)
 			c.mu.Unlock()
 			return
 		}
@@ -324,6 +363,12 @@ func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
 			l.dur = time.Since(l.started)
 		}
 		c.stats.Journaled++
+		ev := c.rangeEvent(EvShardLanded, l)
+		ev.Worker = f.id
+		if l.dur > 0 {
+			ev.Detail = fmt.Sprintf("tenancy %v", l.dur.Round(time.Millisecond))
+		}
+		c.event(ev)
 		losers := make(map[string]string, len(l.workers))
 		for id, jobID := range l.workers {
 			if id == f.id {
@@ -400,8 +445,12 @@ func (c *Coordinator) assign() []startOrder {
 		l.workers[id] = job.ID
 		l.started = now
 		l.dispatches++
+		job.Trace, job.Span = l.trace, spanID(l.trace, l.dispatches)
 		ws.lease = i
 		c.stats.Dispatches++
+		ev := c.rangeEvent(EvDispatch, l)
+		ev.Worker = id
+		c.event(ev)
 		orders = append(orders, startOrder{i, id, ws.w, job})
 	}
 	return orders
@@ -497,20 +546,14 @@ func (c *Coordinator) speculate(ctx context.Context) {
 		// The scrape is the second opinion: a stalled throughput timeline
 		// speculates even when the projection is inconclusive, and either
 		// way the snapshot classifies what the straggler is bound on.
+		// This shares the fleet scrape cache — a snapshot fresher than
+		// the scrape interval is reused instead of re-fetched.
 		var diag string
-		c.mu.Lock()
-		ws, ok := c.workers[cand.primary]
-		c.mu.Unlock()
-		if ok {
-			cctx, cancel := context.WithTimeout(ctx, c.cfg.RPCTimeout)
-			snap, err := ws.w.Snapshot(cctx)
-			cancel()
-			if err == nil && snap != nil {
-				diag = Classify(snap)
-				if !slow && c.cfg.Straggler.Stalled(snap) {
-					slow = true
-					why = fmt.Sprintf("throughput stalled > %v", c.cfg.Straggler.StallWindow)
-				}
+		if snap := c.freshSnapshot(ctx, cand.primary, c.cfg.ScrapeInterval); snap != nil {
+			diag = Classify(snap)
+			if !slow && c.cfg.Straggler.Stalled(snap) {
+				slow = true
+				why = fmt.Sprintf("throughput stalled > %v", c.cfg.Straggler.StallWindow)
 			}
 		}
 		if !slow {
@@ -540,12 +583,17 @@ func (c *Coordinator) speculate(ctx context.Context) {
 		l.workers[tid] = job.ID
 		l.speculated = true
 		l.dispatches++
+		job.Trace, job.Span = l.trace, spanID(l.trace, l.dispatches)
 		tw.lease = cand.leaseIdx
 		c.stats.Dispatches++
 		c.stats.Speculations++
 		if diag == "" {
 			diag = "unclassified (no snapshot)"
 		}
+		ev := c.rangeEvent(EvSpeculate, l)
+		ev.Worker = tid
+		ev.Detail = fmt.Sprintf("straggling on %s (%s; %s)", cand.primary, why, diag)
+		c.event(ev)
 		c.cfg.Logf("range %d/%d straggling on %s (%s; %s) — speculating on %s",
 			l.rng.Index+1, l.rng.Count, cand.primary, why, diag, tid)
 		c.mu.Unlock()

@@ -3,6 +3,8 @@ package coord
 import (
 	"encoding/json"
 	"net/http"
+
+	"repro/internal/obs"
 )
 
 // Handler serves the coordinator's control API:
@@ -11,6 +13,9 @@ import (
 //	POST /v1/heartbeat  body: {id, status} → {known} — push liveness
 //	GET  /v1/status     → StatusSnapshot — the live lease table,
 //	                      worker pool, and fault counters
+//	GET  /metrics       → Prometheus text exposition: lbcoord_ control
+//	                      gauges/counters plus the merged lbfleet_
+//	                      campaign snapshot
 //
 // Registration is open by design: the coordinator trusts its network,
 // like the rest of the lab-cluster workflow this automates.
@@ -39,6 +44,10 @@ func (c *Coordinator) Handler() http.Handler {
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, c.Status())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = c.WriteMetrics(w)
 	})
 	return mux
 }

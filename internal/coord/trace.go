@@ -1,0 +1,29 @@
+package coord
+
+// Range-lifecycle tracing. Every range gets a trace ID minted once,
+// deterministically, from the campaign identity and the range
+// coordinates — stable across dispatch attempts, coordinator restarts,
+// and speculative twins, so every event-log record, worker runinfo
+// sidecar, and log line about the same range carries the same ID. Each
+// dispatch attempt additionally gets a span ID (trace plus the attempt
+// ordinal), tying a specific worker execution to the coordinator
+// decision that launched it.
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"fmt"
+)
+
+// traceID mints the range-stable trace ID: the first 16 hex digits of
+// SHA-256 over specHash|index|count.
+func traceID(specHash string, r Range) string {
+	sum := sha256.Sum256(fmt.Appendf(nil, "%s|%d|%d", specHash, r.Index, r.Count))
+	return hex.EncodeToString(sum[:8])
+}
+
+// spanID names one dispatch attempt of a traced range (attempt is the
+// lease's dispatch ordinal, 1-based).
+func spanID(trace string, attempt int) string {
+	return fmt.Sprintf("%s-%03d", trace, attempt)
+}

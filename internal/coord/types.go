@@ -58,6 +58,12 @@ type Job struct {
 	ID    string         `json:"id"`
 	Spec  *campaign.Spec `json:"spec"`
 	Range Range          `json:"range"`
+	// Trace is the range-stable trace ID and Span the attempt-specific
+	// span ID minted by the coordinator at dispatch; the worker echoes
+	// them into its runinfo sidecar and /debug/vars so fleet-side
+	// decisions and worker-side telemetry join on the same IDs.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
 }
 
 // JobState is a worker's view of one job.

@@ -8,8 +8,10 @@ import (
 	"net/http"
 	"os"
 	"path/filepath"
+	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/journal"
@@ -49,15 +51,16 @@ type WorkerConfig struct {
 
 // workerJob is the worker's current assignment and its run state.
 type workerJob struct {
-	job   Job
-	state JobState
-	err   string
-	path  string
-	done  atomic.Int64 // journaled trials (replayed rows included)
-	total int
-	stop  chan struct{} // closed (via halt) to drain the engine
-	halt1 sync.Once     // cancel and the kill hook may race to close it
-	fin   chan struct{} // closed when the run goroutine exits
+	job     Job
+	state   JobState
+	err     string
+	path    string
+	started time.Time
+	done    atomic.Int64 // journaled trials (replayed rows included)
+	total   int
+	stop    chan struct{} // closed (via halt) to drain the engine
+	halt1   sync.Once     // cancel and the kill hook may race to close it
+	fin     chan struct{} // closed when the run goroutine exits
 }
 
 // halt closes the drain channel exactly once.
@@ -132,12 +135,13 @@ func (s *WorkerServer) Start(_ context.Context, job Job) error {
 		}
 	}
 	j := &workerJob{
-		job:   job,
-		state: JobRunning,
-		total: job.Range.Hi - job.Range.Lo,
-		path:  filepath.Join(s.cfg.Dir, job.ID+".jsonl"),
-		stop:  make(chan struct{}),
-		fin:   make(chan struct{}),
+		job:     job,
+		state:   JobRunning,
+		started: time.Now(),
+		total:   job.Range.Hi - job.Range.Lo,
+		path:    filepath.Join(s.cfg.Dir, job.ID+".jsonl"),
+		stop:    make(chan struct{}),
+		fin:     make(chan struct{}),
 	}
 	s.cur = j
 	s.cfg.Logf("job %s: shard %d/%d [%d,%d)", job.ID, job.Range.Index+1, job.Range.Count, job.Range.Lo, job.Range.Hi)
@@ -150,7 +154,6 @@ func (s *WorkerServer) execute(j *workerJob) {
 	defer close(j.fin)
 	err := s.runJob(j)
 	s.mu.Lock()
-	defer s.mu.Unlock()
 	switch {
 	case err == nil:
 		j.state = JobDone
@@ -163,6 +166,37 @@ func (s *WorkerServer) execute(j *workerJob) {
 		j.state = JobFailed
 		j.err = err.Error()
 		s.cfg.Logf("job %s: failed: %v", j.job.ID, err)
+	}
+	s.mu.Unlock()
+	// A dead worker writes nothing — that is what the injected SIGKILL
+	// simulates; every other outcome leaves a sidecar for post-mortems.
+	if !s.dead() {
+		s.writeRunInfo(j)
+	}
+}
+
+// writeRunInfo drops the per-job runinfo sidecar next to the job's
+// shard journal: identity (job, trace, span — the coordinator's
+// range-lifecycle IDs), scale, host facts, and the worker's telemetry
+// snapshot. Sidecar failures are log-only; the journal is the artifact
+// that matters.
+func (s *WorkerServer) writeRunInfo(j *workerJob) {
+	ri := obs.NewRunInfo("lbfarm-worker")
+	if j.job.Spec != nil {
+		ri.Name = j.job.Spec.Name
+		if hash, err := j.job.Spec.Hash(); err == nil {
+			ri.SpecHash = hash
+		}
+	}
+	ri.Shard = fmt.Sprintf("%d/%d", j.job.Range.Index+1, j.job.Range.Count)
+	ri.Job, ri.Trace, ri.Span = j.job.ID, j.job.Trace, j.job.Span
+	ri.Trials = int(j.done.Load())
+	ri.Workers = s.cfg.Workers
+	ri.Obs = s.cfg.Obs.Snapshot()
+	ri.Finish(time.Since(j.started))
+	path := strings.TrimSuffix(j.path, filepath.Ext(j.path)) + obs.RunInfoSuffix
+	if err := ri.Write(path); err != nil {
+		s.cfg.Logf("job %s: writing runinfo sidecar: %v", j.job.ID, err)
 	}
 }
 
@@ -332,7 +366,12 @@ type httpError struct {
 //	GET  /v1/job/journal?id=J 200: raw journal bytes
 //	GET  /debug/vars          {"obs": <snapshot>, "worker": {...}} —
 //	                          the expvar-shaped scrape surface the
-//	                          coordinator's straggler detector reads.
+//	                          coordinator's fleet scrape (and through
+//	                          it the straggler detector) reads; the
+//	                          worker block echoes the current job's
+//	                          trace/span IDs.
+//	GET  /metrics             Prometheus text exposition of the local
+//	                          snapshot (lb_ prefix).
 //
 // A worker taken down by fault injection answers everything with 503,
 // indistinguishable from a dead process to the coordinator.
@@ -386,10 +425,21 @@ func (s *WorkerServer) Handler() http.Handler {
 	}))
 	mux.HandleFunc("GET /debug/vars", guard(func(w http.ResponseWriter, r *http.Request) {
 		st, _ := s.Status(r.Context(), "")
+		wv := map[string]any{"id": s.cfg.ID, "status": st}
+		s.mu.Lock()
+		if j := s.cur; j != nil {
+			wv["trace"] = j.job.Trace
+			wv["span"] = j.job.Span
+		}
+		s.mu.Unlock()
 		writeJSON(w, http.StatusOK, map[string]any{
 			"obs":    s.cfg.Obs.Snapshot(),
-			"worker": map[string]any{"id": s.cfg.ID, "status": st},
+			"worker": wv,
 		})
+	}))
+	mux.HandleFunc("GET /metrics", guard(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", obs.PromContentType)
+		_ = obs.WriteProm(w, "lb_", s.cfg.Obs.Snapshot())
 	}))
 	return mux
 }

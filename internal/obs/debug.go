@@ -23,20 +23,63 @@ func Publish(name string, fn func() any) {
 	}
 }
 
+// metricsMu guards the settable provider behind the process-wide
+// /metrics handler. The handler registers on the default mux exactly
+// once (a mux panics on duplicate patterns, and tests plus restarting
+// CLIs legitimately serve twice); the provider is swapped each time so
+// the newest run's telemetry wins.
+var (
+	metricsMu      sync.Mutex
+	metricsFn      func() *Snapshot
+	metricsMounted bool
+)
+
+// PublishMetrics mounts /metrics on the default HTTP mux (first call
+// only) and points it at fn: each scrape renders fn() in the
+// Prometheus text format under the "lb_" local-snapshot prefix. A nil
+// fn (or a nil snapshot from it) serves an empty, still-valid
+// exposition.
+func PublishMetrics(fn func() *Snapshot) {
+	metricsMu.Lock()
+	defer metricsMu.Unlock()
+	metricsFn = fn
+	if metricsMounted {
+		return
+	}
+	metricsMounted = true
+	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		metricsMu.Lock()
+		cur := metricsFn
+		metricsMu.Unlock()
+		var snap *Snapshot
+		if cur != nil {
+			snap = cur()
+		}
+		w.Header().Set("Content-Type", PromContentType)
+		_ = WriteProm(w, "lb_", snap)
+	})
+}
+
 // Serve starts the live debug endpoint on addr (host:port; port 0
 // picks a free one): the default HTTP mux, which carries expvar's
-// /debug/vars — including every variable registered via Publish — and
-// net/http/pprof's /debug/pprof/ profile family. It returns the bound
-// address and a closer. The server runs until closed (or process
-// exit); a failed accept after close is expected and swallowed.
+// /debug/vars — including every variable registered via Publish —
+// net/http/pprof's /debug/pprof/ profile family, and (when snap is
+// non-nil) a Prometheus /metrics rendering of the live snapshot. It
+// returns the bound address and a closer. The server runs until closed
+// (or process exit); a failed accept after close is expected and
+// swallowed.
 //
 // This is the observation surface a campaign daemon or coordinator
 // scrapes: /debug/vars for per-stage latency and counters mid-run
-// (straggler detection), /debug/pprof/profile for a CPU profile of a
-// live sweep without restarting it under -cpuprofile.
-func Serve(addr string, vars map[string]func() any) (bound string, close func() error, err error) {
+// (straggler detection), /metrics for standard Prometheus ingestion,
+// /debug/pprof/profile for a CPU profile of a live sweep without
+// restarting it under -cpuprofile.
+func Serve(addr string, snap func() *Snapshot, vars map[string]func() any) (bound string, close func() error, err error) {
 	for name, fn := range vars {
 		Publish(name, fn)
+	}
+	if snap != nil {
+		PublishMetrics(snap)
 	}
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {

@@ -1,0 +1,237 @@
+package obs
+
+// Prometheus text exposition (version 0.0.4) without the client
+// library: the snapshot layer already owns every number a scrape needs,
+// so the encoder is just deterministic formatting. Three properties are
+// load-bearing and pinned by the golden test:
+//
+//   - Stable ordering. Families render in the order the caller emits
+//     them; the snapshot renderer walks stages and counters in their
+//     canonical enum order (with any foreign keys appended sorted), so
+//     two scrapes of identical telemetry are byte-identical.
+//   - Correct escaping. Label values escape backslash, double-quote,
+//     and newline; HELP text escapes backslash and newline — the two
+//     places the text format is quietly unforgiving.
+//   - Cumulative histogram buckets. The log₂ stage histograms are
+//     re-rendered as Prometheus cumulative buckets: the `le` bound of
+//     bucket i is 2^i nanoseconds in seconds, counts accumulate, and
+//     the `+Inf` bucket always equals `_count`.
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Content-Type a /metrics endpoint must serve
+// for the text exposition format.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// Label is one metric label pair.
+type Label struct {
+	Name  string
+	Value string
+}
+
+// Sample is one series of a metric family: its label set and value.
+type Sample struct {
+	Labels []Label
+	Value  float64
+}
+
+// PromWriter renders metric families to w in the Prometheus text
+// format. Errors are sticky: the first write failure is retained and
+// every later call is a no-op, so callers check Err once at the end.
+type PromWriter struct {
+	w   io.Writer
+	err error
+}
+
+// NewPromWriter wraps w.
+func NewPromWriter(w io.Writer) *PromWriter { return &PromWriter{w: w} }
+
+// Err returns the first write error, if any.
+func (p *PromWriter) Err() error { return p.err }
+
+func (p *PromWriter) printf(format string, args ...any) {
+	if p.err != nil {
+		return
+	}
+	_, p.err = fmt.Fprintf(p.w, format, args...)
+}
+
+// escapeHelp escapes a HELP string (backslash and newline).
+func escapeHelp(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// escapeLabel escapes a label value (backslash, double-quote, newline).
+func escapeLabel(s string) string {
+	s = strings.ReplaceAll(s, `\`, `\\`)
+	s = strings.ReplaceAll(s, `"`, `\"`)
+	return strings.ReplaceAll(s, "\n", `\n`)
+}
+
+// formatValue renders a sample value: shortest round-trip float, with
+// the spellings the text format expects for the non-finite cases.
+func formatValue(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// header emits the HELP/TYPE preamble of one family.
+func (p *PromWriter) header(name, typ, help string) {
+	p.printf("# HELP %s %s\n", name, escapeHelp(help))
+	p.printf("# TYPE %s %s\n", name, typ)
+}
+
+// sample emits one series line.
+func (p *PromWriter) sample(name string, labels []Label, value float64) {
+	if len(labels) == 0 {
+		p.printf("%s %s\n", name, formatValue(value))
+		return
+	}
+	var sb strings.Builder
+	for i, l := range labels {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		fmt.Fprintf(&sb, `%s="%s"`, l.Name, escapeLabel(l.Value))
+	}
+	p.printf("%s{%s} %s\n", name, sb.String(), formatValue(value))
+}
+
+// Counter emits one counter family. With no samples, a single
+// unlabelled zero series is emitted so the family is always present.
+func (p *PromWriter) Counter(name, help string, samples ...Sample) {
+	p.metric(name, "counter", help, samples)
+}
+
+// Gauge emits one gauge family.
+func (p *PromWriter) Gauge(name, help string, samples ...Sample) {
+	p.metric(name, "gauge", help, samples)
+}
+
+func (p *PromWriter) metric(name, typ, help string, samples []Sample) {
+	p.header(name, typ, help)
+	if len(samples) == 0 {
+		samples = []Sample{{}}
+	}
+	for _, s := range samples {
+		p.sample(name, s.Labels, s.Value)
+	}
+}
+
+// bucketLE is the Prometheus `le` bound of log₂ bucket i in seconds:
+// every observation in bucket i is < 2^i ns, hence ≤ 2^i ns.
+func bucketLE(i int) string {
+	if i <= 0 {
+		return "0"
+	}
+	return strconv.FormatFloat(math.Ldexp(1, i)/1e9, 'g', -1, 64)
+}
+
+// Histograms emits one histogram family with a series per named
+// StageStats (label `stage`), converting the log₂ nanosecond buckets to
+// cumulative seconds-bounded buckets. Trailing all-zero buckets are
+// trimmed by the snapshot; the mandatory `+Inf` bucket carries the full
+// count either way.
+func (p *PromWriter) Histograms(name, help string, ordered []string, stages map[string]StageStats) {
+	p.header(name, "histogram", help)
+	for _, key := range ordered {
+		st, ok := stages[key]
+		if !ok {
+			continue
+		}
+		labels := []Label{{Name: "stage", Value: key}}
+		var cum int64
+		for i, c := range st.Buckets {
+			cum += c
+			p.sample(name+"_bucket", append(labels[:1:1], Label{Name: "le", Value: bucketLE(i)}), float64(cum))
+		}
+		p.sample(name+"_bucket", append(labels[:1:1], Label{Name: "le", Value: "+Inf"}), float64(st.Count))
+		p.sample(name+"_sum", labels, float64(st.TotalNS)/1e9)
+		p.sample(name+"_count", labels, float64(st.Count))
+	}
+}
+
+// stageOrder returns the snapshot's stage keys in canonical reporting
+// order, with any keys outside the known stage set appended sorted —
+// future stages degrade to stable, not silent.
+func stageOrder(stages map[string]StageStats) []string {
+	known := make(map[string]bool, NumStages)
+	order := make([]string, 0, len(stages))
+	for st := Stage(0); st < NumStages; st++ {
+		known[st.String()] = true
+		if _, ok := stages[st.String()]; ok {
+			order = append(order, st.String())
+		}
+	}
+	var extra []string
+	for k := range stages {
+		if !known[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(order, extra...)
+}
+
+// counterOrder mirrors stageOrder for the counter map.
+func counterOrder(counters map[string]int64) []string {
+	known := make(map[string]bool, NumCounters)
+	order := make([]string, 0, len(counters))
+	for c := Counter(0); c < NumCounters; c++ {
+		known[c.String()] = true
+		if _, ok := counters[c.String()]; ok {
+			order = append(order, c.String())
+		}
+	}
+	var extra []string
+	for k := range counters {
+		if !known[k] {
+			extra = append(extra, k)
+		}
+	}
+	sort.Strings(extra)
+	return append(order, extra...)
+}
+
+// Snapshot renders one telemetry snapshot under the given metric-name
+// prefix (e.g. "lb_" for a local run, "lbfleet_" for the coordinator's
+// fleet merge): an elapsed-seconds gauge, one counter family per event
+// counter, and the per-stage latency histogram family. A nil snapshot
+// emits nothing.
+func (p *PromWriter) Snapshot(prefix string, snap *Snapshot) {
+	if snap == nil {
+		return
+	}
+	p.Gauge(prefix+"elapsed_seconds", "Wall-clock time since telemetry started.",
+		Sample{Value: float64(snap.ElapsedNS) / 1e9})
+	for _, key := range counterOrder(snap.Counters) {
+		p.Counter(prefix+key+"_total", "Cumulative "+strings.ReplaceAll(key, "_", " ")+".",
+			Sample{Value: float64(snap.Counters[key])})
+	}
+	p.Histograms(prefix+"stage_duration_seconds", "Pipeline stage latency distribution.",
+		stageOrder(snap.Stages), snap.Stages)
+}
+
+// WriteProm renders snap under prefix to w and returns the first write
+// error — the one-call form for /metrics handlers that serve only a
+// local snapshot.
+func WriteProm(w io.Writer, prefix string, snap *Snapshot) error {
+	p := NewPromWriter(w)
+	p.Snapshot(prefix, snap)
+	return p.Err()
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+	"time"
+)
+
+// fixtureSnapshot builds a deterministic snapshot: fixed observations,
+// pinned wall-clock fields. Used by both the golden test and the
+// cumulativity checks.
+func fixtureSnapshot() *Snapshot {
+	s := NewSet(2)
+	s.Recorder(0).Observe(StageSimulate, 900*time.Nanosecond)
+	s.Recorder(0).Observe(StageSimulate, 3*time.Microsecond)
+	s.Recorder(1).Observe(StageSimulate, 200*time.Microsecond)
+	s.Recorder(1).Observe(StageBalance, 0)
+	s.Recorder(0).Observe(StageBalance, 50*time.Millisecond)
+	s.Recorder(0).Add(CounterTrialsAccepted, 5)
+	s.Recorder(1).Add(CounterTrialsRejected, 1)
+	s.Recorder(0).Add(CounterMemoHit, 3)
+	snap := s.Snapshot()
+	snap.ElapsedNS = 2_500_000_000 // wall-clock fields pinned for the fixture
+	snap.Timeline = Timeline{WidthNS: 1 << 24, Counts: []int64{4, 0, 2}}
+	return snap
+}
+
+// TestPromGolden pins the Prometheus exposition byte-for-byte against
+// testdata/metrics.golden.prom — stable family/series ordering is part
+// of the format contract the CI scrape leg parses. Regenerate with
+//
+//	OBS_UPDATE_GOLDEN=1 go test ./internal/obs -run TestPromGolden
+func TestPromGolden(t *testing.T) {
+	golden := filepath.Join("testdata", "metrics.golden.prom")
+	var sb strings.Builder
+	if err := WriteProm(&sb, "lb_", fixtureSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+	if updateGolden() {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != string(want) {
+		t.Fatalf("prometheus exposition diverged from the golden fixture; if intentional, rerun with OBS_UPDATE_GOLDEN=1\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromStableOrdering: two renders of the same snapshot are
+// byte-identical — map iteration order must not leak into the output.
+func TestPromStableOrdering(t *testing.T) {
+	snap := fixtureSnapshot()
+	var a, b strings.Builder
+	if err := WriteProm(&a, "lb_", snap); err != nil {
+		t.Fatal(err)
+	}
+	if err := WriteProm(&b, "lb_", snap); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("two renders of the same snapshot differ")
+	}
+}
+
+// TestPromBucketCumulativity walks the rendered histogram and checks
+// the bucket counts are non-decreasing in le order and that the +Inf
+// bucket equals the _count series for every stage.
+func TestPromBucketCumulativity(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, "lb_", fixtureSnapshot()); err != nil {
+		t.Fatal(err)
+	}
+	lastByStage := map[string]float64{}
+	infByStage := map[string]float64{}
+	countByStage := map[string]float64{}
+	for _, line := range strings.Split(sb.String(), "\n") {
+		switch {
+		case strings.HasPrefix(line, "lb_stage_duration_seconds_bucket{"):
+			stage := fieldValue(t, line, "stage")
+			le := fieldValue(t, line, "le")
+			v := sampleValue(t, line)
+			if le == "+Inf" {
+				infByStage[stage] = v
+				continue
+			}
+			if v < lastByStage[stage] {
+				t.Errorf("stage %s: bucket le=%s count %v below previous %v", stage, le, v, lastByStage[stage])
+			}
+			lastByStage[stage] = v
+		case strings.HasPrefix(line, "lb_stage_duration_seconds_count{"):
+			countByStage[fieldValue(t, line, "stage")] = sampleValue(t, line)
+		}
+	}
+	if len(countByStage) == 0 {
+		t.Fatal("no histogram series rendered")
+	}
+	for stage, count := range countByStage {
+		if infByStage[stage] != count {
+			t.Errorf("stage %s: +Inf bucket %v != count %v", stage, infByStage[stage], count)
+		}
+		if lastByStage[stage] > count {
+			t.Errorf("stage %s: last finite bucket %v exceeds count %v", stage, lastByStage[stage], count)
+		}
+	}
+}
+
+func fieldValue(t *testing.T, line, label string) string {
+	t.Helper()
+	marker := label + `="`
+	i := strings.Index(line, marker)
+	if i < 0 {
+		t.Fatalf("label %q missing in %q", label, line)
+	}
+	rest := line[i+len(marker):]
+	j := strings.Index(rest, `"`)
+	if j < 0 {
+		t.Fatalf("unterminated label value in %q", line)
+	}
+	return rest[:j]
+}
+
+func sampleValue(t *testing.T, line string) float64 {
+	t.Helper()
+	i := strings.LastIndexByte(line, ' ')
+	if i < 0 {
+		t.Fatalf("no value in %q", line)
+	}
+	v, err := strconv.ParseFloat(line[i+1:], 64)
+	if err != nil {
+		t.Fatalf("bad value in %q: %v", line, err)
+	}
+	return v
+}
+
+// TestPromEscaping: label values with backslashes, quotes, and newlines
+// render escaped; HELP text escapes backslash and newline.
+func TestPromEscaping(t *testing.T) {
+	var sb strings.Builder
+	p := NewPromWriter(&sb)
+	p.Gauge("esc_metric", "line1\nline2 with \\ slash",
+		Sample{Labels: []Label{{Name: "path", Value: `C:\dir"q` + "\n"}}, Value: 1})
+	if err := p.Err(); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	wantHelp := `# HELP esc_metric line1\nline2 with \\ slash` + "\n"
+	if !strings.Contains(out, wantHelp) {
+		t.Errorf("HELP not escaped:\n%s", out)
+	}
+	wantSeries := `esc_metric{path="C:\\dir\"q\n"} 1` + "\n"
+	if !strings.Contains(out, wantSeries) {
+		t.Errorf("label value not escaped, want %q in:\n%s", wantSeries, out)
+	}
+	if strings.Count(out, "\n") != 3 {
+		t.Errorf("raw newline leaked into exposition:\n%q", out)
+	}
+}
+
+// TestPromNilSnapshot: a nil snapshot renders an empty, valid body.
+func TestPromNilSnapshot(t *testing.T) {
+	var sb strings.Builder
+	if err := WriteProm(&sb, "lb_", nil); err != nil {
+		t.Fatal(err)
+	}
+	if sb.Len() != 0 {
+		t.Fatalf("nil snapshot rendered output:\n%s", sb.String())
+	}
+}
+
+// TestPromBucketLE pins the le bound mapping: bucket 0 → "0", bucket i
+// → 2^i ns in seconds, including the i=63 bound that would overflow
+// int64 arithmetic.
+func TestPromBucketLE(t *testing.T) {
+	cases := map[int]string{
+		0:  "0",
+		1:  "2e-09",
+		10: "1.024e-06",
+		30: "1.073741824",
+		63: "9.223372036854776e+09",
+	}
+	for i, want := range cases {
+		if got := bucketLE(i); got != want {
+			t.Errorf("bucketLE(%d) = %q, want %q", i, got, want)
+		}
+	}
+}

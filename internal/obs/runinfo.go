@@ -51,11 +51,19 @@ type MemStats struct {
 // event counters, throughput timeline). docs/observability.md holds
 // the schema catalogue.
 type RunInfo struct {
-	Schema    int       `json:"schema"`
-	Tool      string    `json:"tool"`
-	Name      string    `json:"name"`
-	SpecHash  string    `json:"spec_hash"`
-	Shard     string    `json:"shard,omitempty"`
+	Schema   int    `json:"schema"`
+	Tool     string `json:"tool"`
+	Name     string `json:"name"`
+	SpecHash string `json:"spec_hash"`
+	Shard    string `json:"shard,omitempty"`
+	// Job/Trace/Span tie a coordinator-dispatched run back to the fleet
+	// event log: Job is the coordinator's job ID, Trace the
+	// range-stable trace ID, Span the attempt-specific span ID (see
+	// docs/observability.md, "Fleet observability"). Empty on local
+	// runs.
+	Job       string    `json:"job,omitempty"`
+	Trace     string    `json:"trace,omitempty"`
+	Span      string    `json:"span,omitempty"`
 	Trials    int       `json:"trials"`
 	Workers   int       `json:"workers"`
 	ElapsedNS int64     `json:"elapsed_ns"`
@@ -121,4 +129,17 @@ func (ri *RunInfo) Write(path string) error {
 		return fmt.Errorf("obs: writing runinfo: %w", err)
 	}
 	return nil
+}
+
+// ReadRunInfo parses a runinfo sidecar from path.
+func ReadRunInfo(path string) (*RunInfo, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("obs: reading runinfo: %w", err)
+	}
+	ri := &RunInfo{}
+	if err := json.Unmarshal(data, ri); err != nil {
+		return nil, fmt.Errorf("obs: parsing runinfo %s: %w", path, err)
+	}
+	return ri, nil
 }
