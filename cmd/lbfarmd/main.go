@@ -1,0 +1,113 @@
+// Command lbfarmd is the campaign service: sweeps as a long-lived
+// daemon instead of one-shot lbfarm invocations. Clients POST campaign
+// specs, the daemon queues and executes them on the deterministic
+// engine with journal-backed durability, streams progress over SSE,
+// and serves finished artifacts from a content-addressed cache keyed
+// by spec hash — re-submitting an identical spec returns the first
+// run's bytes with zero trials re-executed. See docs/service.md for
+// the endpoint reference.
+//
+// Usage:
+//
+//	lbfarmd -listen :8800 -data /var/lib/lbfarmd
+//	curl -d @sweep.json http://host:8800/v1/campaigns
+//	curl http://host:8800/v1/campaigns/<hash>
+//	curl -N http://host:8800/v1/campaigns/<hash>/events
+//	curl -O http://host:8800/v1/artifacts/<hash>.json
+//
+// Durability: every campaign transition is persisted under -data, and
+// every running campaign journals each trial. A killed daemon restarts
+// into the same -data/-journal-dir and resumes where it stopped —
+// queued campaigns re-queue, interrupted ones replay their journals
+// and execute only the missing trials, and finished artifact bytes are
+// unaffected (resume is byte-identical by construction).
+//
+// SIGINT/SIGTERM drain: running engines stop claiming trials,
+// in-flight trials reach their journals, and the process exits — with
+// code 3 when the signal caught campaigns mid-run (re-start to finish
+// them), 0 otherwise.
+//
+// GET /metrics serves lbfarmd_ control series plus the merged
+// telemetry of everything running; GET /debug/vars and /debug/pprof/
+// are the usual live-debug surface. See docs/observability.md.
+package main
+
+import (
+	"errors"
+	"flag"
+	"log"
+	"net"
+	"net/http"
+	"os"
+	"os/signal"
+	"path/filepath"
+	"syscall"
+
+	"repro/internal/service"
+)
+
+const exitInterrupted = 3
+
+func main() {
+	log.SetFlags(0)
+	log.SetPrefix("lbfarmd: ")
+	var (
+		listen     = flag.String("listen", "127.0.0.1:8800", "serve the campaign API on this host:port (port 0 picks a free one)")
+		dataDir    = flag.String("data", "", "state directory: campaign records and the artifact cache (required)")
+		journalDir = flag.String("journal-dir", "", "directory for in-flight trial journals (default <data>/journals)")
+		queueDepth = flag.Int("queue", 64, "admission queue capacity; submissions beyond it are refused with 429")
+		maxRuns    = flag.Int("runs", 1, "campaigns to execute concurrently")
+		workers    = flag.Int("workers", 0, "engine worker pool per campaign (0 = GOMAXPROCS)")
+	)
+	flag.Parse()
+	if *dataDir == "" {
+		log.Fatal("-data is required")
+	}
+	if *journalDir == "" {
+		*journalDir = filepath.Join(*dataDir, "journals")
+	}
+
+	store, err := service.OpenFSStore(*dataDir)
+	if err != nil {
+		log.Fatal(err)
+	}
+	d, err := service.New(service.Config{
+		Store:      store,
+		JournalDir: *journalDir,
+		QueueDepth: *queueDepth,
+		MaxRuns:    *maxRuns,
+		Workers:    *workers,
+		Logf:       log.Printf,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	srv := &http.Server{Handler: d.Handler()}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(ln) }()
+	log.Printf("serving campaign API on %s (data %s)", ln.Addr(), *dataDir)
+
+	d.Start()
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, syscall.SIGINT, syscall.SIGTERM)
+	select {
+	case s := <-sig:
+		log.Printf("%s: draining (in-flight trials reach their journals; re-start to resume)", s)
+	case err := <-serveErr:
+		if !errors.Is(err, http.ErrServerClosed) {
+			log.Printf("serve: %v", err)
+		}
+	}
+	_ = srv.Close()
+	_ = d.Close()
+	if n := d.Interrupted(); n > 0 {
+		log.Printf("interrupted %d campaign(s) mid-run; journals are synced, re-start to finish", n)
+		os.Exit(exitInterrupted)
+	}
+}

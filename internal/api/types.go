@@ -1,0 +1,177 @@
+package api
+
+import (
+	"time"
+
+	"repro/internal/campaign"
+)
+
+// ---------------------------------------------------------------------
+// Worker dialect: the coordinator ↔ worker job API (served by
+// lbfarm -worker, driven by lbcoord and — via ROADMAP item 2 — by
+// lbfarmd's fleet dispatch).
+
+// Job is one dispatched unit of work: run shard Range.Index of
+// Range.Count of Spec, journal it, and hold the journal for collection.
+// The ID is stable across re-dispatches of the same range (it names the
+// range, not the attempt), so a worker that already holds a partial
+// journal for it resumes instead of restarting.
+type Job struct {
+	ID    string         `json:"id"`
+	Spec  *campaign.Spec `json:"spec"`
+	Range Range          `json:"range"`
+	// Trace is the range-stable trace ID and Span the attempt-specific
+	// span ID minted by the coordinator at dispatch; the worker echoes
+	// them into its runinfo sidecar and /debug/vars so fleet-side
+	// decisions and worker-side telemetry join on the same IDs.
+	Trace string `json:"trace,omitempty"`
+	Span  string `json:"span,omitempty"`
+}
+
+// Range names one shard of a campaign's trial enumeration: index-range
+// [Lo,Hi) as shard Index of Count (the journal.ShardRange geometry).
+type Range struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+	Lo    int `json:"lo"`
+	Hi    int `json:"hi"`
+}
+
+// JobState is a worker's view of one job.
+type JobState string
+
+const (
+	// JobIdle means the worker holds no such job (never dispatched, or
+	// lost to a worker restart).
+	JobIdle JobState = "idle"
+	// JobRunning means the job's engine run is in flight.
+	JobRunning JobState = "running"
+	// JobDone means the shard journal is complete and collectable.
+	JobDone JobState = "done"
+	// JobFailed means the run ended without a complete journal; Err
+	// carries the reason (including "canceled" for a drained job).
+	JobFailed JobState = "failed"
+)
+
+// WorkerStatus is a worker's self-report — the heartbeat payload and
+// the status-poll response. Done counts journaled trials of the current
+// job (replayed rows included), Total the job's trial count.
+type WorkerStatus struct {
+	JobID string   `json:"job_id"`
+	State JobState `json:"state"`
+	Done  int      `json:"done"`
+	Total int      `json:"total"`
+	Err   string   `json:"err,omitempty"`
+}
+
+// Registration is the register/heartbeat payload a worker pushes to the
+// coordinator (POST /v1/register, POST /v1/heartbeat).
+type Registration struct {
+	ID     string       `json:"id"`
+	Addr   string       `json:"addr,omitempty"`
+	Status WorkerStatus `json:"status"`
+}
+
+// HeartbeatAck tells the worker whether the coordinator knows it; an
+// unknown worker re-registers (the coordinator restarted).
+type HeartbeatAck struct {
+	Known bool `json:"known"`
+}
+
+// ---------------------------------------------------------------------
+// Campaign service dialect: the lbfarmd submission API. A submission
+// body is a plain campaign.Spec; these are the response and event
+// shapes.
+
+// CampaignState is the service-side lifecycle of one submitted
+// campaign.
+type CampaignState string
+
+const (
+	// CampaignQueued: admitted to the bounded FIFO, not yet running.
+	CampaignQueued CampaignState = "queued"
+	// CampaignRunning: executing on the engine, journaling as it goes.
+	CampaignRunning CampaignState = "running"
+	// CampaignDone: artifacts are in the content-addressed cache.
+	CampaignDone CampaignState = "done"
+	// CampaignFailed: the run ended in an error (Error carries it);
+	// re-submitting the same spec re-queues it.
+	CampaignFailed CampaignState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s CampaignState) Terminal() bool {
+	return s == CampaignDone || s == CampaignFailed
+}
+
+// CampaignStatus is the service's report on one campaign — the
+// response of POST /v1/campaigns and GET /v1/campaigns/{id}, and the
+// payload of "status" events on the SSE stream. ID is the campaign's
+// spec hash: identical submissions share one identity, which is what
+// makes the artifact cache exact.
+type CampaignStatus struct {
+	ID    string        `json:"id"`
+	Name  string        `json:"name"`
+	State CampaignState `json:"state"`
+	// Cached is set on a submission response served entirely from the
+	// artifact cache: no trial ran, the artifacts below are the first
+	// run's bytes.
+	Cached bool `json:"cached,omitempty"`
+	// Done/Accepted/Total are live trial counters (journal-replayed
+	// trials included in Done).
+	Done     int `json:"done"`
+	Accepted int `json:"accepted"`
+	Total    int `json:"total"`
+	// Error carries the failure reason of a failed campaign.
+	Error string `json:"error,omitempty"`
+	// Artifacts maps artifact kind ("json", "csv", "runinfo") to the
+	// service path it is served under, once the campaign is done.
+	Artifacts map[string]string `json:"artifacts,omitempty"`
+
+	SubmittedAt time.Time  `json:"submitted_at"`
+	StartedAt   *time.Time `json:"started_at,omitempty"`
+	FinishedAt  *time.Time `json:"finished_at,omitempty"`
+}
+
+// CampaignList is the GET /v1/campaigns response.
+type CampaignList struct {
+	Campaigns []CampaignStatus `json:"campaigns"`
+}
+
+// Event is one record of a campaign's SSE stream
+// (GET /v1/campaigns/{id}/events). Exactly one of the payload fields is
+// set, matching Type; Seq increases by one per event within a stream,
+// so a consumer can detect drops (slow subscribers lose trial events
+// first — progress counters are cumulative, so nothing is unrecoverable).
+type Event struct {
+	Seq  int64  `json:"seq"`
+	Type string `json:"type"` // "status" | "progress" | "trial"
+
+	Status   *CampaignStatus `json:"status,omitempty"`
+	Progress *ProgressEvent  `json:"progress,omitempty"`
+	Trial    *TrialEvent     `json:"trial,omitempty"`
+}
+
+// Event types on the SSE stream.
+const (
+	EventStatus   = "status"
+	EventProgress = "progress"
+	EventTrial    = "trial"
+)
+
+// ProgressEvent is the periodic progress report: cumulative counters
+// plus the human-readable line internal/progress renders for the CLIs.
+type ProgressEvent struct {
+	Done     int    `json:"done"`
+	Accepted int    `json:"accepted"`
+	Total    int    `json:"total"`
+	Line     string `json:"line"`
+}
+
+// TrialEvent streams one completed trial as it folds: the enumeration
+// index, its grid cell, and the outcome ("ok" or the rejecting stage).
+type TrialEvent struct {
+	Index   int    `json:"index"`
+	Cell    string `json:"cell"`
+	Outcome string `json:"outcome"`
+}

@@ -1,22 +1,18 @@
 package coord
 
 import (
-	"bytes"
 	"context"
-	"encoding/json"
-	"fmt"
-	"io"
 	"net/http"
 	"net/url"
-	"strings"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
 // Client is the HTTP implementation of Worker: the coordinator's handle
 // on one `lbfarm -worker` process, speaking the WorkerServer.Handler
-// routes.
+// routes in the shared wire dialect (internal/api).
 type Client struct {
 	id   string
 	base string
@@ -26,62 +22,22 @@ type Client struct {
 // NewClient builds a worker handle. addr is host:port or a full URL;
 // per-call deadlines come from the caller's context.
 func NewClient(id, addr string) *Client {
-	if !strings.Contains(addr, "://") {
-		addr = "http://" + addr
-	}
-	return &Client{id: id, base: strings.TrimRight(addr, "/"), http: &http.Client{}}
+	return &Client{id: id, base: api.BaseURL(addr), http: &http.Client{}}
 }
 
 // ID implements Worker.
 func (c *Client) ID() string { return c.id }
 
-// do runs one request and decodes the response into out (when non-nil).
-// Non-2xx responses become errors carrying the server's message; 404
-// maps to ErrUnknownJob, which is a protocol signal, not a transport
+// do runs one request through api.Do and maps the protocol signals the
+// lease machinery dispatches on: a not_found envelope means the worker
+// does not hold the job (ErrUnknownJob) — a signal, not a transport
 // failure.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
-	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
-			return err
-		}
-		rd = bytes.NewReader(data)
-	}
-	req, err := http.NewRequestWithContext(ctx, method, c.base+path, rd)
-	if err != nil {
-		return err
-	}
-	if body != nil {
-		req.Header.Set("Content-Type", "application/json")
-	}
-	resp, err := c.http.Do(req)
-	if err != nil {
-		return err
-	}
-	defer resp.Body.Close()
-	data, err := io.ReadAll(resp.Body)
-	if err != nil {
-		return err
-	}
-	if resp.StatusCode == http.StatusNotFound {
+	err := api.Do(ctx, c.http, method, c.base+path, body, out)
+	if api.IsCode(err, api.CodeNotFound) {
 		return ErrUnknownJob
 	}
-	if resp.StatusCode < 200 || resp.StatusCode > 299 {
-		var he httpError
-		if json.Unmarshal(data, &he) == nil && he.Error != "" {
-			return fmt.Errorf("coord: %s %s: %s", method, path, he.Error)
-		}
-		return fmt.Errorf("coord: %s %s: HTTP %d: %s", method, path, resp.StatusCode, strings.TrimSpace(string(data)))
-	}
-	if out == nil {
-		return nil
-	}
-	if raw, ok := out.(*[]byte); ok {
-		*raw = data
-		return nil
-	}
-	return json.Unmarshal(data, out)
+	return err
 }
 
 // Start implements Worker.
@@ -120,19 +76,6 @@ func (c *Client) Snapshot(ctx context.Context) (*obs.Snapshot, error) {
 	return vars.Obs, nil
 }
 
-// registration is the register/heartbeat wire payload.
-type registration struct {
-	ID     string       `json:"id"`
-	Addr   string       `json:"addr,omitempty"`
-	Status WorkerStatus `json:"status"`
-}
-
-// heartbeatAck tells the worker whether the coordinator knows it; an
-// unknown worker re-registers (the coordinator restarted).
-type heartbeatAck struct {
-	Known bool `json:"known"`
-}
-
 // Announce registers a worker with the coordinator and pushes
 // heartbeats every interval until ctx ends. status supplies each
 // beat's payload; a coordinator that has forgotten us (it restarted)
@@ -143,42 +86,14 @@ func Announce(ctx context.Context, coordURL, id, addr string, interval time.Dura
 	if logf == nil {
 		logf = func(string, ...any) {}
 	}
-	if !strings.Contains(coordURL, "://") {
-		coordURL = "http://" + coordURL
-	}
-	coordURL = strings.TrimRight(coordURL, "/")
+	base := api.BaseURL(coordURL)
 	hc := &http.Client{Timeout: interval}
 
-	post := func(path string, v any, out any) error {
-		data, err := json.Marshal(v)
-		if err != nil {
-			return err
-		}
-		req, err := http.NewRequestWithContext(ctx, http.MethodPost, coordURL+path, bytes.NewReader(data))
-		if err != nil {
-			return err
-		}
-		req.Header.Set("Content-Type", "application/json")
-		resp, err := hc.Do(req)
-		if err != nil {
-			return err
-		}
-		defer resp.Body.Close()
-		body, _ := io.ReadAll(resp.Body)
-		if resp.StatusCode < 200 || resp.StatusCode > 299 {
-			return fmt.Errorf("HTTP %d: %s", resp.StatusCode, strings.TrimSpace(string(body)))
-		}
-		if out != nil {
-			return json.Unmarshal(body, out)
-		}
-		return nil
-	}
-
 	register := func() {
-		if err := post("/v1/register", registration{ID: id, Addr: addr}, nil); err != nil {
-			logf("registering with %s: %v (will retry)", coordURL, err)
+		if err := api.Do(ctx, hc, http.MethodPost, base+"/v1/register", api.Registration{ID: id, Addr: addr}, nil); err != nil {
+			logf("registering with %s: %v (will retry)", base, err)
 		} else {
-			logf("registered with %s as %s (%s)", coordURL, id, addr)
+			logf("registered with %s as %s (%s)", base, id, addr)
 		}
 	}
 	register()
@@ -191,8 +106,8 @@ func Announce(ctx context.Context, coordURL, id, addr string, interval time.Dura
 			return
 		case <-tick.C:
 		}
-		var ack heartbeatAck
-		if err := post("/v1/heartbeat", registration{ID: id, Status: status()}, &ack); err != nil {
+		var ack api.HeartbeatAck
+		if err := api.Do(ctx, hc, http.MethodPost, base+"/v1/heartbeat", api.Registration{ID: id, Status: status()}, &ack); err != nil {
 			logf("heartbeat: %v", err)
 			continue
 		}

@@ -3,6 +3,8 @@ package coord
 import (
 	"math/rand/v2"
 	"time"
+
+	"repro/internal/api"
 )
 
 // State is a range's position in the lease lifecycle.
@@ -31,13 +33,9 @@ func (s State) String() string {
 }
 
 // Range is one dispatchable slice of the campaign: shard Index of Count
-// under journal.ShardRange, covering trials [Lo,Hi).
-type Range struct {
-	Index int `json:"index"`
-	Count int `json:"count"`
-	Lo    int `json:"lo"`
-	Hi    int `json:"hi"`
-}
+// under journal.ShardRange, covering trials [Lo,Hi). The wire type
+// lives in internal/api (it travels inside api.Job).
+type Range = api.Range
 
 // Backoff is the retry policy for failed range attempts: exponential
 // from Base, capped at Max, with ±Jitter fraction of symmetric random

@@ -1,53 +1,61 @@
 package coord
 
 import (
-	"encoding/json"
 	"net/http"
 
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
-// Handler serves the coordinator's control API:
+// Handler serves the coordinator's control API in the shared wire
+// dialect (internal/api — JSON bodies, the {"error":{code,message}}
+// envelope on every failure):
 //
-//	POST /v1/register   body: {id, addr}  — join (or rejoin) the pool
-//	POST /v1/heartbeat  body: {id, status} → {known} — push liveness
+//	POST /v1/register   body: api.Registration {id, addr} — join (or
+//	                    rejoin) the pool
+//	POST /v1/heartbeat  body: api.Registration {id, status} →
+//	                    api.HeartbeatAck — push liveness
 //	GET  /v1/status     → StatusSnapshot — the live lease table,
 //	                      worker pool, and fault counters
 //	GET  /metrics       → Prometheus text exposition: lbcoord_ control
 //	                      gauges/counters plus the merged lbfleet_
 //	                      campaign snapshot
+//	GET  /debug/vars    → {"obs": merged fleet snapshot, "lbcoord":
+//	                      status} — the same live-debug surface every
+//	                      other server mounts (obs.RegisterDebug)
+//	GET  /debug/pprof/  → net/http/pprof profile family
 //
 // Registration is open by design: the coordinator trusts its network,
 // like the rest of the lab-cluster workflow this automates.
 func (c *Coordinator) Handler() http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
-		var reg registration
-		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		var reg api.Registration
+		if err := api.Decode(r.Body, &reg); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding registration: %v", err)
 			return
 		}
 		if reg.ID == "" || reg.Addr == "" {
-			http.Error(w, "registration needs id and addr", http.StatusBadRequest)
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "registration needs id and addr")
 			return
 		}
 		c.Register(reg.ID, reg.Addr)
 		w.WriteHeader(http.StatusNoContent)
 	})
 	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
-		var reg registration
-		if err := json.NewDecoder(r.Body).Decode(&reg); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		var reg api.Registration
+		if err := api.Decode(r.Body, &reg); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding heartbeat: %v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, heartbeatAck{Known: c.Observe(reg.ID, reg.Status)})
+		api.WriteJSON(w, http.StatusOK, api.HeartbeatAck{Known: c.Observe(reg.ID, reg.Status)})
 	})
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, c.Status())
+		api.WriteJSON(w, http.StatusOK, c.Status())
 	})
-	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", obs.PromContentType)
-		_ = c.WriteMetrics(w)
+	obs.RegisterDebug(mux, c.WriteMetrics, map[string]func() any{
+		"obs":     func() any { return c.FleetSnapshot() },
+		"lbcoord": func() any { return c.Status() },
 	})
 	return mux
 }

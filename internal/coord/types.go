@@ -45,53 +45,30 @@ import (
 	"context"
 	"errors"
 
-	"repro/internal/campaign"
+	"repro/internal/api"
 	"repro/internal/obs"
 )
 
-// Job is one dispatched unit of work: run shard Range.Index of
-// Range.Count of Spec, journal it, and hold the journal for collection.
-// The ID is stable across re-dispatches of the same range (it names the
-// range, not the attempt), so a worker that already holds a partial
-// journal for it resumes instead of restarting.
-type Job struct {
-	ID    string         `json:"id"`
-	Spec  *campaign.Spec `json:"spec"`
-	Range Range          `json:"range"`
-	// Trace is the range-stable trace ID and Span the attempt-specific
-	// span ID minted by the coordinator at dispatch; the worker echoes
-	// them into its runinfo sidecar and /debug/vars so fleet-side
-	// decisions and worker-side telemetry join on the same IDs.
-	Trace string `json:"trace,omitempty"`
-	Span  string `json:"span,omitempty"`
-}
-
-// JobState is a worker's view of one job.
-type JobState string
-
-const (
-	// JobIdle means the worker holds no such job (never dispatched, or
-	// lost to a worker restart).
-	JobIdle JobState = "idle"
-	// JobRunning means the job's engine run is in flight.
-	JobRunning JobState = "running"
-	// JobDone means the shard journal is complete and collectable.
-	JobDone JobState = "done"
-	// JobFailed means the run ended without a complete journal; Err
-	// carries the reason (including "canceled" for a drained job).
-	JobFailed JobState = "failed"
+// The wire types of the job dialect — Job, Range, JobState,
+// WorkerStatus, Registration, HeartbeatAck — live in internal/api (the
+// one versioned dialect every server speaks); they are aliased here so
+// the coordinator's domain code and its tests keep their natural names.
+type (
+	// Job is one dispatched unit of work; see api.Job.
+	Job = api.Job
+	// JobState is a worker's view of one job; see api.JobState.
+	JobState = api.JobState
+	// WorkerStatus is a worker's self-report; see api.WorkerStatus.
+	WorkerStatus = api.WorkerStatus
 )
 
-// WorkerStatus is a worker's self-report — the heartbeat payload and
-// the status-poll response. Done counts journaled trials of the current
-// job (replayed rows included), Total the job's trial count.
-type WorkerStatus struct {
-	JobID string   `json:"job_id"`
-	State JobState `json:"state"`
-	Done  int      `json:"done"`
-	Total int      `json:"total"`
-	Err   string   `json:"err,omitempty"`
-}
+// Job lifecycle states, re-exported from the wire package.
+const (
+	JobIdle    = api.JobIdle
+	JobRunning = api.JobRunning
+	JobDone    = api.JobDone
+	JobFailed  = api.JobFailed
+)
 
 // ErrUnknownJob is returned by Worker.Status when the worker does not
 // know the asked-about job — the signature of a worker that restarted

@@ -13,6 +13,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -353,100 +354,90 @@ func (s *WorkerServer) Drain() { _ = s.Cancel(context.Background(), "") }
 // dead reports whether fault injection took this worker down.
 func (s *WorkerServer) dead() bool { return s.killed.Load() }
 
-// Status payload envelope for the journal endpoint's error body.
-type httpError struct {
-	Error string `json:"error"`
-}
-
-// Handler serves the worker API:
+// Handler serves the worker API in the shared wire dialect
+// (internal/api — JSON bodies, the {"error":{code,message}} envelope on
+// every failure):
 //
-//	POST /v1/job/start        body: Job
-//	GET  /v1/job/status?id=J  200: WorkerStatus, 404: unknown job
-//	POST /v1/job/cancel?id=J
-//	GET  /v1/job/journal?id=J 200: raw journal bytes
+//	POST /v1/job/start        body: api.Job; 409 conflict when busy
+//	                          with a different job
+//	GET  /v1/job/status?id=J  200: api.WorkerStatus; 404 not_found
+//	                          envelope for a job this worker does not
+//	                          hold (the amnesiac-worker signal)
+//	POST /v1/job/cancel?id=J  204 always (cancel is idempotent)
+//	GET  /v1/job/journal?id=J 200: raw journal bytes; 404 not_found,
+//	                          409 conflict while the job still runs
 //	GET  /debug/vars          {"obs": <snapshot>, "worker": {...}} —
 //	                          the expvar-shaped scrape surface the
 //	                          coordinator's fleet scrape (and through
 //	                          it the straggler detector) reads; the
 //	                          worker block echoes the current job's
-//	                          trace/span IDs.
+//	                          trace/span IDs (obs.RegisterDebug).
 //	GET  /metrics             Prometheus text exposition of the local
 //	                          snapshot (lb_ prefix).
 //
-// A worker taken down by fault injection answers everything with 503,
+// A worker taken down by fault injection answers everything — debug
+// surface included — with a 503 unavailable envelope,
 // indistinguishable from a dead process to the coordinator.
 func (s *WorkerServer) Handler() http.Handler {
 	mux := http.NewServeMux()
-	guard := func(h http.HandlerFunc) http.HandlerFunc {
-		return func(w http.ResponseWriter, r *http.Request) {
-			if s.dead() {
-				http.Error(w, "worker is down", http.StatusServiceUnavailable)
-				return
-			}
-			h(w, r)
-		}
-	}
-	mux.HandleFunc("POST /v1/job/start", guard(func(w http.ResponseWriter, r *http.Request) {
+	mux.HandleFunc("POST /v1/job/start", func(w http.ResponseWriter, r *http.Request) {
 		var job Job
-		if err := json.NewDecoder(r.Body).Decode(&job); err != nil {
-			http.Error(w, err.Error(), http.StatusBadRequest)
+		if err := api.Decode(r.Body, &job); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding job: %v", err)
 			return
 		}
 		if err := s.Start(r.Context(), job); err != nil {
-			writeJSON(w, http.StatusConflict, httpError{err.Error()})
+			api.WriteError(w, http.StatusConflict, api.CodeConflict, "%v", err)
 			return
 		}
 		w.WriteHeader(http.StatusNoContent)
-	}))
-	mux.HandleFunc("GET /v1/job/status", guard(func(w http.ResponseWriter, r *http.Request) {
+	})
+	mux.HandleFunc("GET /v1/job/status", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Status(r.Context(), r.URL.Query().Get("id"))
 		if errors.Is(err, ErrUnknownJob) {
-			writeJSON(w, http.StatusNotFound, httpError{err.Error()})
+			api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "%v", err)
 			return
 		}
-		writeJSON(w, http.StatusOK, st)
-	}))
-	mux.HandleFunc("POST /v1/job/cancel", guard(func(w http.ResponseWriter, r *http.Request) {
+		api.WriteJSON(w, http.StatusOK, st)
+	})
+	mux.HandleFunc("POST /v1/job/cancel", func(w http.ResponseWriter, r *http.Request) {
 		_ = s.Cancel(r.Context(), r.URL.Query().Get("id"))
 		w.WriteHeader(http.StatusNoContent)
-	}))
-	mux.HandleFunc("GET /v1/job/journal", guard(func(w http.ResponseWriter, r *http.Request) {
+	})
+	mux.HandleFunc("GET /v1/job/journal", func(w http.ResponseWriter, r *http.Request) {
 		data, err := s.Journal(r.Context(), r.URL.Query().Get("id"))
 		if err != nil {
-			code := http.StatusConflict
 			if errors.Is(err, ErrUnknownJob) {
-				code = http.StatusNotFound
+				api.WriteError(w, http.StatusNotFound, api.CodeNotFound, "%v", err)
+			} else {
+				api.WriteError(w, http.StatusConflict, api.CodeConflict, "%v", err)
 			}
-			writeJSON(w, code, httpError{err.Error()})
 			return
 		}
 		w.Header().Set("Content-Type", "application/octet-stream")
 		w.Write(data)
-	}))
-	mux.HandleFunc("GET /debug/vars", guard(func(w http.ResponseWriter, r *http.Request) {
-		st, _ := s.Status(r.Context(), "")
-		wv := map[string]any{"id": s.cfg.ID, "status": st}
-		s.mu.Lock()
-		if j := s.cur; j != nil {
-			wv["trace"] = j.job.Trace
-			wv["span"] = j.job.Span
+	})
+	obs.RegisterDebug(mux, obs.SnapshotMetrics("lb_", s.cfg.Obs.Snapshot), map[string]func() any{
+		"obs": func() any { return s.cfg.Obs.Snapshot() },
+		"worker": func() any {
+			st, _ := s.Status(context.Background(), "")
+			wv := map[string]any{"id": s.cfg.ID, "status": st}
+			s.mu.Lock()
+			if j := s.cur; j != nil {
+				wv["trace"] = j.job.Trace
+				wv["span"] = j.job.Span
+			}
+			s.mu.Unlock()
+			return wv
+		},
+	})
+	// The dead-guard wraps the whole mux so the simulated SIGKILL also
+	// blacks out the debug surface, not just the job routes.
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if s.dead() {
+			api.WriteError(w, http.StatusServiceUnavailable, api.CodeUnavailable, "worker is down")
+			return
 		}
-		s.mu.Unlock()
-		writeJSON(w, http.StatusOK, map[string]any{
-			"obs":    s.cfg.Obs.Snapshot(),
-			"worker": wv,
-		})
-	}))
-	mux.HandleFunc("GET /metrics", guard(func(w http.ResponseWriter, r *http.Request) {
-		w.Header().Set("Content-Type", obs.PromContentType)
-		_ = obs.WriteProm(w, "lb_", s.cfg.Obs.Snapshot())
-	}))
-	return mux
-}
-
-// writeJSON writes v as a JSON response with the given status.
-func writeJSON(w http.ResponseWriter, code int, v any) {
-	w.Header().Set("Content-Type", "application/json")
-	w.WriteHeader(code)
-	_ = json.NewEncoder(w).Encode(v)
+		mux.ServeHTTP(w, r)
+	})
 }

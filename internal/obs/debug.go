@@ -1,73 +1,74 @@
 package obs
 
 import (
-	"expvar"
+	"encoding/json"
+	"io"
 	"net"
 	"net/http"
-	_ "net/http/pprof" // registers /debug/pprof/ on the default mux
-	"sync"
+	"net/http/pprof"
 )
 
-// publishMu serialises expvar registration; expvar.Publish panics on a
-// duplicate name, and tests (plus a CLI that restarts its server)
-// legitimately publish the same key twice.
-var publishMu sync.Mutex
-
-// Publish registers fn as the expvar variable `name`, replacing
-// nothing: a name that is already registered keeps its first function.
-func Publish(name string, fn func() any) {
-	publishMu.Lock()
-	defer publishMu.Unlock()
-	if expvar.Get(name) == nil {
-		expvar.Publish(name, expvar.Func(fn))
+// RegisterDebug mounts the shared live-debug surface on mux — the one
+// route family every server in the repo (lbfarm's -debug-addr, lbmerge,
+// the lbcoord control API, the lbfarmd daemon, lbfarm -worker) serves,
+// wired here once instead of hand-rolled per CLI:
+//
+//	GET /debug/vars    one JSON object, one key per vars entry, each
+//	                   value rendered fresh per request (the expvar
+//	                   shape the coordinator's fleet scrape and the
+//	                   straggler detector read)
+//	GET /debug/pprof/  the net/http/pprof profile family (index,
+//	                   cmdline, profile, symbol, trace, and the named
+//	                   runtime profiles)
+//	GET /metrics       the Prometheus text exposition written by
+//	                   metrics (skipped when metrics is nil)
+//
+// The mux is the caller's: a server that guards its routes (the worker
+// 503s everything after a simulated kill) wraps the returned mux in its
+// own middleware.
+func RegisterDebug(mux *http.ServeMux, metrics func(io.Writer) error, vars map[string]func() any) {
+	mux.HandleFunc("GET /debug/vars", func(w http.ResponseWriter, r *http.Request) {
+		out := make(map[string]any, len(vars))
+		for name, fn := range vars {
+			out[name] = fn()
+		}
+		w.Header().Set("Content-Type", "application/json")
+		_ = json.NewEncoder(w).Encode(out)
+	})
+	mux.HandleFunc("GET /debug/pprof/", pprof.Index)
+	mux.HandleFunc("GET /debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("GET /debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("GET /debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("GET /debug/pprof/trace", pprof.Trace)
+	if metrics != nil {
+		mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+			w.Header().Set("Content-Type", PromContentType)
+			_ = metrics(w)
+		})
 	}
 }
 
-// metricsMu guards the settable provider behind the process-wide
-// /metrics handler. The handler registers on the default mux exactly
-// once (a mux panics on duplicate patterns, and tests plus restarting
-// CLIs legitimately serve twice); the provider is swapped each time so
-// the newest run's telemetry wins.
-var (
-	metricsMu      sync.Mutex
-	metricsFn      func() *Snapshot
-	metricsMounted bool
-)
-
-// PublishMetrics mounts /metrics on the default HTTP mux (first call
-// only) and points it at fn: each scrape renders fn() in the
-// Prometheus text format under the "lb_" local-snapshot prefix. A nil
-// fn (or a nil snapshot from it) serves an empty, still-valid
-// exposition.
-func PublishMetrics(fn func() *Snapshot) {
-	metricsMu.Lock()
-	defer metricsMu.Unlock()
-	metricsFn = fn
-	if metricsMounted {
-		return
-	}
-	metricsMounted = true
-	http.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
-		metricsMu.Lock()
-		cur := metricsFn
-		metricsMu.Unlock()
-		var snap *Snapshot
-		if cur != nil {
-			snap = cur()
+// SnapshotMetrics adapts a live snapshot source into the metrics writer
+// RegisterDebug wants: each scrape renders snap() under the given
+// series prefix. A nil snapshot (telemetry off) renders an empty, still
+// valid exposition.
+func SnapshotMetrics(prefix string, snap func() *Snapshot) func(io.Writer) error {
+	return func(w io.Writer) error {
+		var s *Snapshot
+		if snap != nil {
+			s = snap()
 		}
-		w.Header().Set("Content-Type", PromContentType)
-		_ = WriteProm(w, "lb_", snap)
-	})
+		return WriteProm(w, prefix, s)
+	}
 }
 
 // Serve starts the live debug endpoint on addr (host:port; port 0
-// picks a free one): the default HTTP mux, which carries expvar's
-// /debug/vars — including every variable registered via Publish —
-// net/http/pprof's /debug/pprof/ profile family, and (when snap is
-// non-nil) a Prometheus /metrics rendering of the live snapshot. It
-// returns the bound address and a closer. The server runs until closed
-// (or process exit); a failed accept after close is expected and
-// swallowed.
+// picks a free one): a fresh mux carrying RegisterDebug's route family
+// — /debug/vars with every entry of vars, /debug/pprof/, and a
+// Prometheus /metrics rendering of the live snapshot under the "lb_"
+// local prefix. It returns the bound address and a closer. The server
+// runs until closed (or process exit); a failed accept after close is
+// expected and swallowed.
 //
 // This is the observation surface a campaign daemon or coordinator
 // scrapes: /debug/vars for per-stage latency and counters mid-run
@@ -75,17 +76,13 @@ func PublishMetrics(fn func() *Snapshot) {
 // /debug/pprof/profile for a CPU profile of a live sweep without
 // restarting it under -cpuprofile.
 func Serve(addr string, snap func() *Snapshot, vars map[string]func() any) (bound string, close func() error, err error) {
-	for name, fn := range vars {
-		Publish(name, fn)
-	}
-	if snap != nil {
-		PublishMetrics(snap)
-	}
+	mux := http.NewServeMux()
+	RegisterDebug(mux, SnapshotMetrics("lb_", snap), vars)
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return "", nil, err
 	}
-	srv := &http.Server{Handler: http.DefaultServeMux}
+	srv := &http.Server{Handler: mux}
 	go func() { _ = srv.Serve(ln) }()
 	return ln.Addr().String(), srv.Close, nil
 }

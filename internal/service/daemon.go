@@ -1,0 +1,700 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/journal"
+	"repro/internal/obs"
+	"repro/internal/progress"
+)
+
+// Hooks are the daemon's test seams; the zero value is production.
+type Hooks struct {
+	// SinkTick, when non-nil, runs inside the engine sink after each
+	// journal append with the campaign ID and the cumulative journaled
+	// count — the deterministic wait point the restart test hangs on.
+	SinkTick func(id string, done int)
+}
+
+// Config parameterises a Daemon.
+type Config struct {
+	// Store holds campaign records and the artifact cache (required).
+	Store Store
+	// JournalDir is the node-local directory for in-flight trial
+	// journals (required). A restarted daemon resumes running campaigns
+	// from here.
+	JournalDir string
+	// QueueDepth bounds the admission queue; ≤ 0 means 64. A submit
+	// beyond it is refused with queue_full (429).
+	QueueDepth int
+	// MaxRuns is how many campaigns execute concurrently; ≤ 0 means 1.
+	MaxRuns int
+	// Workers is each campaign's engine pool size (≤ 0 = GOMAXPROCS).
+	Workers int
+	// ProgressEvery is the SSE progress-event cadence; ≤ 0 means 250ms.
+	ProgressEvery time.Duration
+	// Logf receives the daemon's event log (nil = silent).
+	Logf func(format string, args ...any)
+	// Hooks inject test seams.
+	Hooks Hooks
+}
+
+// camp is one known campaign: its spec, live counters, and status.
+type camp struct {
+	spec     *campaign.Spec
+	specJSON json.RawMessage
+
+	// doneN/acceptedN are updated by concurrent engine sinks; total is
+	// fixed at admission.
+	doneN     atomic.Int64
+	acceptedN atomic.Int64
+	total     int
+
+	// Everything below is guarded by the daemon mutex.
+	state       api.CampaignState
+	errMsg      string
+	submittedAt time.Time
+	startedAt   *time.Time
+	finishedAt  *time.Time
+	set         *obs.Set // non-nil while running
+}
+
+// Daemon is the campaign service: a bounded admission queue feeding
+// MaxRuns concurrent engine runners, every transition persisted to the
+// Store, every run journaled for crash-resume, results landing in the
+// content-addressed artifact cache.
+type Daemon struct {
+	cfg Config
+	hub *hub
+
+	mu    sync.Mutex
+	camps map[string]*camp
+	queue chan *camp
+
+	stop    chan struct{}
+	stopped atomic.Bool
+	wg      sync.WaitGroup
+
+	// Control-plane counters (the lbfarmd_ metric families).
+	submissions    atomic.Int64
+	cacheHits      atomic.Int64
+	trialsExecuted atomic.Int64
+	campaignsDone  atomic.Int64
+	campaignsFail  atomic.Int64
+	interrupted    atomic.Int64
+}
+
+// Stats is the daemon's control-plane counter snapshot.
+type Stats struct {
+	Submissions    int64 `json:"submissions"`
+	CacheHits      int64 `json:"cache_hits"`
+	TrialsExecuted int64 `json:"trials_executed"`
+	CampaignsDone  int64 `json:"campaigns_done"`
+	CampaignsFail  int64 `json:"campaigns_failed"`
+	Queued         int   `json:"queued"`
+	Running        int   `json:"running"`
+}
+
+// New builds a Daemon over cfg, replaying the store: done records are
+// re-registered against their cached artifacts, and queued/running
+// records — the campaigns a previous daemon died holding — re-enter
+// the queue to resume from their journals. Call Start to begin
+// executing.
+func New(cfg Config) (*Daemon, error) {
+	if cfg.Store == nil {
+		return nil, fmt.Errorf("service: config needs a Store")
+	}
+	if cfg.JournalDir == "" {
+		return nil, fmt.Errorf("service: config needs a journal directory")
+	}
+	if err := os.MkdirAll(cfg.JournalDir, 0o755); err != nil {
+		return nil, err
+	}
+	if cfg.QueueDepth <= 0 {
+		cfg.QueueDepth = 64
+	}
+	if cfg.MaxRuns <= 0 {
+		cfg.MaxRuns = 1
+	}
+	if cfg.ProgressEvery <= 0 {
+		cfg.ProgressEvery = 250 * time.Millisecond
+	}
+	if cfg.Logf == nil {
+		cfg.Logf = func(string, ...any) {}
+	}
+
+	recs, err := cfg.Store.Records()
+	if err != nil {
+		return nil, err
+	}
+	var pending []*camp
+	camps := map[string]*camp{}
+	for _, rec := range recs {
+		c, err := campFromRecord(rec)
+		if err != nil {
+			return nil, err
+		}
+		switch {
+		case rec.State == api.CampaignDone && cfg.Store.HasArtifacts(rec.ID):
+			c.doneN.Store(int64(c.total))
+		case rec.State.Terminal() && rec.State != api.CampaignDone:
+			// failed: registered, not re-run; a re-submit re-queues it.
+		case cfg.Store.HasArtifacts(rec.ID):
+			// Crashed between artifact put and record finalise: the
+			// artifacts are complete, so finish the record now.
+			c.state = api.CampaignDone
+			now := time.Now()
+			c.finishedAt = &now
+			c.doneN.Store(int64(c.total))
+			if err := cfg.Store.PutRecord(recordOf(rec.ID, c)); err != nil {
+				return nil, err
+			}
+		default:
+			// queued or running at crash time: back in line, the
+			// journal replay makes the re-run cheap.
+			c.state = api.CampaignQueued
+			c.startedAt = nil
+			if err := cfg.Store.PutRecord(recordOf(rec.ID, c)); err != nil {
+				return nil, err
+			}
+			pending = append(pending, c)
+		}
+		camps[rec.ID] = c
+	}
+	d := &Daemon{
+		cfg:   cfg,
+		hub:   newHub(),
+		camps: camps,
+		queue: make(chan *camp, cfg.QueueDepth+len(pending)),
+		stop:  make(chan struct{}),
+	}
+	for _, c := range pending {
+		d.queue <- c
+		d.cfg.Logf("campaign %s: recovered from store, re-queued", idOf(c))
+	}
+	return d, nil
+}
+
+// campFromRecord rebuilds the in-memory campaign from its record.
+func campFromRecord(rec Record) (*camp, error) {
+	spec := &campaign.Spec{}
+	if err := json.Unmarshal(rec.Spec, spec); err != nil {
+		return nil, fmt.Errorf("service: record %s: decoding spec: %w", rec.ID, err)
+	}
+	if err := spec.Normalize(); err != nil {
+		return nil, fmt.Errorf("service: record %s: %w", rec.ID, err)
+	}
+	trials, err := spec.Trials()
+	if err != nil {
+		return nil, fmt.Errorf("service: record %s: %w", rec.ID, err)
+	}
+	return &camp{
+		spec:        spec,
+		specJSON:    rec.Spec,
+		total:       len(trials),
+		state:       rec.State,
+		errMsg:      rec.Error,
+		submittedAt: rec.SubmittedAt,
+		startedAt:   rec.StartedAt,
+		finishedAt:  rec.FinishedAt,
+	}, nil
+}
+
+// idOf returns the campaign's spec hash (already validated, so the
+// error path is unreachable in practice).
+func idOf(c *camp) string {
+	hash, err := c.spec.Hash()
+	if err != nil {
+		return "invalid"
+	}
+	return hash
+}
+
+// recordOf snapshots c into its durable record. Caller holds d.mu (or
+// owns c exclusively).
+func recordOf(id string, c *camp) Record {
+	return Record{
+		ID:          id,
+		Name:        c.spec.Name,
+		State:       c.state,
+		Error:       c.errMsg,
+		SubmittedAt: c.submittedAt,
+		StartedAt:   c.startedAt,
+		FinishedAt:  c.finishedAt,
+		Spec:        c.specJSON,
+	}
+}
+
+// Start launches the runner pool.
+func (d *Daemon) Start() {
+	for i := 0; i < d.cfg.MaxRuns; i++ {
+		d.wg.Add(1)
+		go func() {
+			defer d.wg.Done()
+			for {
+				select {
+				case <-d.stop:
+					return
+				case c := <-d.queue:
+					d.run(c)
+				}
+			}
+		}()
+	}
+}
+
+// Close drains the daemon: running engines stop claiming trials,
+// in-flight trials reach their journals, interrupted campaigns revert
+// to queued on disk (a restarted daemon resumes them), and the runner
+// pool exits. Idempotent.
+func (d *Daemon) Close() error {
+	if d.stopped.Swap(true) {
+		return nil
+	}
+	close(d.stop)
+	d.wg.Wait()
+	return nil
+}
+
+// Interrupted reports how many campaigns a Close caught mid-run — the
+// CLI's exit-code-3 signal.
+func (d *Daemon) Interrupted() int64 { return d.interrupted.Load() }
+
+// apiError builds a typed *api.Error carrying its HTTP status.
+func apiError(status int, code, format string, args ...any) *api.Error {
+	return &api.Error{Code: code, Message: fmt.Sprintf(format, args...), Status: status}
+}
+
+// Submit admits one campaign submission (a campaign.Spec JSON body).
+// The returned status is the POST response:
+//
+//   - cache hit (same spec ran before): state done, Cached true, the
+//     artifact links — zero trials execute;
+//   - already queued or running: that campaign's live status;
+//   - new (or previously failed): queued.
+//
+// Errors are *api.Error values with Status/Code set: bad_request for
+// specs that fail to parse or validate, queue_full when the admission
+// queue is at capacity, unavailable while draining.
+func (d *Daemon) Submit(body io.Reader) (api.CampaignStatus, error) {
+	if d.stopped.Load() {
+		return api.CampaignStatus{}, apiError(http.StatusServiceUnavailable, api.CodeUnavailable, "daemon is draining")
+	}
+	d.submissions.Add(1)
+	spec := &campaign.Spec{}
+	if err := api.Decode(body, spec); err != nil {
+		return api.CampaignStatus{}, apiError(http.StatusBadRequest, api.CodeBadRequest, "decoding spec: %v", err)
+	}
+	if err := spec.Normalize(); err != nil {
+		return api.CampaignStatus{}, apiError(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	hash, err := spec.Hash()
+	if err != nil {
+		return api.CampaignStatus{}, apiError(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	trials, err := spec.Trials()
+	if err != nil {
+		return api.CampaignStatus{}, apiError(http.StatusBadRequest, api.CodeBadRequest, "%v", err)
+	}
+	specJSON, err := json.Marshal(spec)
+	if err != nil {
+		return api.CampaignStatus{}, apiError(http.StatusInternalServerError, api.CodeInternal, "%v", err)
+	}
+
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	if c, ok := d.camps[hash]; ok {
+		switch c.state {
+		case api.CampaignDone:
+			// The exact-cache path: determinism keys the artifact set by
+			// spec hash, so the first run's bytes answer every identical
+			// re-submission.
+			d.cacheHits.Add(1)
+			st := d.statusLocked(hash, c)
+			st.Cached = true
+			return st, nil
+		case api.CampaignQueued, api.CampaignRunning:
+			return d.statusLocked(hash, c), nil
+		}
+		// failed: fall through to re-queue the same identity.
+	}
+	c := d.camps[hash]
+	if c == nil {
+		c = &camp{spec: spec, specJSON: specJSON, total: len(trials)}
+	}
+	select {
+	case d.queue <- c:
+	default:
+		return api.CampaignStatus{}, apiError(http.StatusTooManyRequests, api.CodeQueueFull, "admission queue is full (%d campaigns)", cap(d.queue))
+	}
+	c.state = api.CampaignQueued
+	c.errMsg = ""
+	c.submittedAt = time.Now()
+	c.startedAt, c.finishedAt = nil, nil
+	d.camps[hash] = c
+	if err := d.cfg.Store.PutRecord(recordOf(hash, c)); err != nil {
+		d.cfg.Logf("campaign %s: persisting record: %v", hash, err)
+	}
+	d.cfg.Logf("campaign %s (%s): queued, %d trials", hash[:12], spec.Name, c.total)
+	st := d.statusLocked(hash, c)
+	d.publishStatus(hash, st)
+	return st, nil
+}
+
+// Status returns one campaign's live status.
+func (d *Daemon) Status(id string) (api.CampaignStatus, bool) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	c, ok := d.camps[id]
+	if !ok {
+		return api.CampaignStatus{}, false
+	}
+	return d.statusLocked(id, c), true
+}
+
+// List returns every known campaign, oldest submission first.
+func (d *Daemon) List() []api.CampaignStatus {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	out := make([]api.CampaignStatus, 0, len(d.camps))
+	for id, c := range d.camps {
+		out = append(out, d.statusLocked(id, c))
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if !out[i].SubmittedAt.Equal(out[j].SubmittedAt) {
+			return out[i].SubmittedAt.Before(out[j].SubmittedAt)
+		}
+		return out[i].ID < out[j].ID
+	})
+	return out
+}
+
+// Stats snapshots the control-plane counters.
+func (d *Daemon) Stats() Stats {
+	d.mu.Lock()
+	var queued, running int
+	for _, c := range d.camps {
+		switch c.state {
+		case api.CampaignQueued:
+			queued++
+		case api.CampaignRunning:
+			running++
+		}
+	}
+	d.mu.Unlock()
+	return Stats{
+		Submissions:    d.submissions.Load(),
+		CacheHits:      d.cacheHits.Load(),
+		TrialsExecuted: d.trialsExecuted.Load(),
+		CampaignsDone:  d.campaignsDone.Load(),
+		CampaignsFail:  d.campaignsFail.Load(),
+		Queued:         queued,
+		Running:        running,
+	}
+}
+
+// MergedSnapshot merges the telemetry of every running campaign — the
+// daemon-wide view /metrics and /debug/vars serve.
+func (d *Daemon) MergedSnapshot() *obs.Snapshot {
+	d.mu.Lock()
+	var snaps []*obs.Snapshot
+	for _, c := range d.camps {
+		if c.set != nil {
+			snaps = append(snaps, c.set.Snapshot())
+		}
+	}
+	d.mu.Unlock()
+	if len(snaps) == 0 {
+		return nil
+	}
+	return obs.MergeSnapshots(snaps...)
+}
+
+// WriteMetrics renders the daemon's Prometheus exposition: lbfarmd_
+// control gauges/counters plus the merged lb_ snapshot of everything
+// currently running.
+func (d *Daemon) WriteMetrics(w io.Writer) error {
+	st := d.Stats()
+	p := obs.NewPromWriter(w)
+	p.Gauge("lbfarmd_queue_depth", "Campaigns waiting in the admission queue.", obs.Sample{Value: float64(st.Queued)})
+	p.Gauge("lbfarmd_running", "Campaigns currently executing.", obs.Sample{Value: float64(st.Running)})
+	p.Counter("lbfarmd_submissions_total", "Campaign submissions accepted for processing.", obs.Sample{Value: float64(st.Submissions)})
+	p.Counter("lbfarmd_cache_hits_total", "Submissions answered entirely from the artifact cache.", obs.Sample{Value: float64(st.CacheHits)})
+	p.Counter("lbfarmd_trials_executed_total", "Trials executed live by this daemon (journal replays excluded).", obs.Sample{Value: float64(st.TrialsExecuted)})
+	p.Counter("lbfarmd_campaigns_done_total", "Campaigns completed successfully.", obs.Sample{Value: float64(st.CampaignsDone)})
+	p.Counter("lbfarmd_campaigns_failed_total", "Campaigns that ended in an error.", obs.Sample{Value: float64(st.CampaignsFail)})
+	p.Snapshot("lb_", d.MergedSnapshot())
+	return p.Err()
+}
+
+// statusLocked composes the wire status of c. Caller holds d.mu.
+func (d *Daemon) statusLocked(id string, c *camp) api.CampaignStatus {
+	st := api.CampaignStatus{
+		ID:          id,
+		Name:        c.spec.Name,
+		State:       c.state,
+		Done:        int(c.doneN.Load()),
+		Accepted:    int(c.acceptedN.Load()),
+		Total:       c.total,
+		Error:       c.errMsg,
+		SubmittedAt: c.submittedAt,
+		StartedAt:   c.startedAt,
+		FinishedAt:  c.finishedAt,
+	}
+	if c.state == api.CampaignDone {
+		st.Artifacts = ArtifactPaths(id)
+	}
+	return st
+}
+
+// ArtifactPaths maps artifact kind to the service path it is served
+// under for one campaign.
+func ArtifactPaths(id string) map[string]string {
+	return map[string]string{
+		KindJSON:    "/v1/artifacts/" + id + ".json",
+		KindCSV:     "/v1/artifacts/" + id + ".csv",
+		KindRunInfo: "/v1/artifacts/" + id + ".runinfo.json",
+	}
+}
+
+// publishStatus emits a status event on the campaign's stream.
+func (d *Daemon) publishStatus(id string, st api.CampaignStatus) {
+	d.hub.publish(id, api.Event{Type: api.EventStatus, Status: &st})
+}
+
+// setState transitions c, persists the record, and emits the status
+// event.
+func (d *Daemon) setState(id string, c *camp, mutate func(*camp)) {
+	d.mu.Lock()
+	mutate(c)
+	rec := recordOf(id, c)
+	st := d.statusLocked(id, c)
+	d.mu.Unlock()
+	if err := d.cfg.Store.PutRecord(rec); err != nil {
+		d.cfg.Logf("campaign %s: persisting record: %v", id, err)
+	}
+	d.publishStatus(id, st)
+}
+
+// run executes one campaign to done, failed, or drain.
+func (d *Daemon) run(c *camp) {
+	id := idOf(c)
+	// A duplicate submission may have been admitted while this entry
+	// waited in the queue after a previous run already finished it.
+	if d.cfg.Store.HasArtifacts(id) {
+		d.setState(id, c, func(c *camp) {
+			if c.state != api.CampaignDone {
+				c.state = api.CampaignDone
+				now := time.Now()
+				c.finishedAt = &now
+				c.doneN.Store(int64(c.total))
+			}
+		})
+		return
+	}
+
+	set := obs.NewSet(d.cfg.Workers)
+	start := time.Now()
+	d.setState(id, c, func(c *camp) {
+		c.state = api.CampaignRunning
+		now := start
+		c.startedAt = &now
+		c.set = set
+	})
+	d.cfg.Logf("campaign %s (%s): running", id[:12], c.spec.Name)
+
+	res, runErr := d.execute(id, c, set, start)
+
+	switch {
+	case runErr == nil:
+		files, err := d.renderArtifacts(id, c, res, set, time.Since(start))
+		if err == nil {
+			err = d.cfg.Store.PutArtifacts(id, files)
+		}
+		if err != nil {
+			runErr = err
+			break
+		}
+		if err := os.Remove(d.journalPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
+			d.cfg.Logf("campaign %s: removing merged journal: %v", id, err)
+		}
+		d.campaignsDone.Add(1)
+		d.setState(id, c, func(c *camp) {
+			c.state = api.CampaignDone
+			now := time.Now()
+			c.finishedAt = &now
+			c.set = nil
+		})
+		d.cfg.Logf("campaign %s (%s): done, %d trials in %s", id[:12], c.spec.Name, c.total, time.Since(start).Round(time.Millisecond))
+		return
+	case errors.Is(runErr, campaign.ErrInterrupted):
+		// Daemon drain: the journal holds everything that ran; revert
+		// to queued so the next daemon resumes instead of restarting.
+		d.interrupted.Add(1)
+		d.setState(id, c, func(c *camp) {
+			c.state = api.CampaignQueued
+			c.startedAt = nil
+			c.set = nil
+		})
+		d.cfg.Logf("campaign %s (%s): interrupted after %d trials, re-queued for resume", id[:12], c.spec.Name, c.doneN.Load())
+		return
+	}
+	d.campaignsFail.Add(1)
+	msg := runErr.Error()
+	d.setState(id, c, func(c *camp) {
+		c.state = api.CampaignFailed
+		c.errMsg = msg
+		now := time.Now()
+		c.finishedAt = &now
+		c.set = nil
+	})
+	d.cfg.Logf("campaign %s (%s): failed: %v", id[:12], c.spec.Name, runErr)
+}
+
+// journalPath is where campaign id journals while running.
+func (d *Daemon) journalPath(id string) string {
+	return filepath.Join(d.cfg.JournalDir, id+".jsonl")
+}
+
+// execute is the engine-and-journal plumbing of one attempt: resume
+// the campaign's journal if a previous daemon left one, create it
+// otherwise, and run the engine with the sink fanning out to the
+// journal, the live counters, and the SSE stream.
+func (d *Daemon) execute(id string, c *camp, set *obs.Set, start time.Time) (*campaign.Result, error) {
+	hdr, err := journal.NewHeader(c.spec, 0, 1)
+	if err != nil {
+		return nil, err
+	}
+	path := d.journalPath(id)
+	var (
+		w    *journal.Writer
+		done []campaign.TrialResult
+	)
+	if _, serr := os.Stat(path); serr == nil {
+		w, done, err = journal.Resume(path, hdr)
+		if err == nil && len(done) > 0 {
+			d.cfg.Logf("campaign %s: resuming journal, %d of %d trials already done", id[:12], len(done), c.total)
+		}
+	} else {
+		w, err = journal.Create(path, hdr)
+	}
+	if err != nil {
+		return nil, err
+	}
+	w.Obs = set.Aux()
+
+	base := int64(len(done))
+	c.doneN.Store(base)
+	var accepted int64
+	for _, r := range done {
+		if r.Outcome == campaign.OutcomeOK {
+			accepted++
+		}
+	}
+	c.acceptedN.Store(accepted)
+
+	// Progress emitter: one SSE progress event per tick while the
+	// engine runs, and a final one when it stops.
+	pstop := make(chan struct{})
+	pdone := make(chan struct{})
+	go func() {
+		defer close(pdone)
+		tick := time.NewTicker(d.cfg.ProgressEvery)
+		defer tick.Stop()
+		progress.Loop(tick.C, pstop, func() string {
+			return progress.Line(c.doneN.Load(), c.acceptedN.Load(), base, int64(c.total), time.Since(start))
+		}, func(line string) {
+			d.hub.publish(id, api.Event{Type: api.EventProgress, Progress: &api.ProgressEvent{
+				Done:     int(c.doneN.Load()),
+				Accepted: int(c.acceptedN.Load()),
+				Total:    c.total,
+				Line:     line,
+			}})
+		})
+	}()
+
+	eng := &campaign.Engine{
+		Workers: d.cfg.Workers,
+		Done:    done,
+		Obs:     set,
+		Stop:    d.stop,
+		Sink: func(r campaign.TrialResult) error {
+			if err := w.Append(r); err != nil {
+				return err
+			}
+			n := c.doneN.Add(1)
+			if r.Outcome == campaign.OutcomeOK {
+				c.acceptedN.Add(1)
+			}
+			d.trialsExecuted.Add(1)
+			d.hub.publish(id, api.Event{Type: api.EventTrial, Trial: &api.TrialEvent{
+				Index:   r.Index,
+				Cell:    r.Cell,
+				Outcome: r.Outcome,
+			}})
+			if d.cfg.Hooks.SinkTick != nil {
+				d.cfg.Hooks.SinkTick(id, int(n))
+			}
+			return nil
+		},
+	}
+	res, runErr := eng.Run(c.spec)
+	close(pstop)
+	<-pdone
+	if runErr != nil {
+		// Drain or failure: sync what we have — the journal is the
+		// resumable artifact either way.
+		if cerr := w.Close(); cerr != nil && errors.Is(runErr, campaign.ErrInterrupted) {
+			return nil, cerr
+		}
+		return nil, runErr
+	}
+	if err := w.Close(); err != nil {
+		return nil, err
+	}
+	return res, nil
+}
+
+// renderArtifacts folds the result into the cached artifact set:
+// the deterministic .json and .csv (the byte-identity artifacts) plus
+// the runinfo sidecar (wall-clock facts, host, telemetry — explicitly
+// outside the identity contract).
+func (d *Daemon) renderArtifacts(id string, c *camp, res *campaign.Result, set *obs.Set, elapsed time.Duration) (map[string][]byte, error) {
+	jsonData, err := res.JSON()
+	if err != nil {
+		return nil, err
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		return nil, err
+	}
+	ri := obs.NewRunInfo("lbfarmd")
+	ri.Name = c.spec.Name
+	ri.SpecHash = id
+	ri.Trials = c.total
+	ri.Workers = d.cfg.Workers
+	ri.Obs = set.Snapshot()
+	ri.Finish(elapsed)
+	riData, err := ri.JSON()
+	if err != nil {
+		return nil, err
+	}
+	return map[string][]byte{
+		KindJSON:    jsonData,
+		KindCSV:     csvBuf.Bytes(),
+		KindRunInfo: riData,
+	}, nil
+}

@@ -1,0 +1,128 @@
+package service
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync"
+
+	"repro/internal/api"
+)
+
+// subBuffer is each subscriber's event buffer. A subscriber that falls
+// further behind loses events — trial events stream at engine rate and
+// a stalled client must not stall the run — and detects the loss from
+// the gap in Event.Seq. Progress and status events carry cumulative
+// counters, so nothing is unrecoverable after a drop.
+const subBuffer = 256
+
+// sub is one SSE subscriber's channel.
+type sub struct {
+	ch chan api.Event
+}
+
+// hub fans campaign events out to SSE subscribers. Sequence numbers
+// are per campaign, assigned under the hub lock, so every subscriber
+// sees a gap-free (or detectably gapped) total order.
+type hub struct {
+	mu   sync.Mutex
+	subs map[string]map[*sub]struct{}
+	seq  map[string]int64
+}
+
+func newHub() *hub {
+	return &hub{subs: map[string]map[*sub]struct{}{}, seq: map[string]int64{}}
+}
+
+// subscribe registers a listener on campaign id. cancel is idempotent
+// and must be called when the consumer goes away.
+func (h *hub) subscribe(id string) (<-chan api.Event, func()) {
+	s := &sub{ch: make(chan api.Event, subBuffer)}
+	h.mu.Lock()
+	if h.subs[id] == nil {
+		h.subs[id] = map[*sub]struct{}{}
+	}
+	h.subs[id][s] = struct{}{}
+	h.mu.Unlock()
+	var once sync.Once
+	cancel := func() {
+		once.Do(func() {
+			h.mu.Lock()
+			delete(h.subs[id], s)
+			h.mu.Unlock()
+		})
+	}
+	return s.ch, cancel
+}
+
+// publish stamps ev with the campaign's next sequence number and
+// offers it to every subscriber without blocking: a full subscriber
+// buffer drops the event rather than backpressuring the engine.
+func (h *hub) publish(id string, ev api.Event) {
+	h.mu.Lock()
+	h.seq[id]++
+	ev.Seq = h.seq[id]
+	for s := range h.subs[id] {
+		select {
+		case s.ch <- ev:
+		default:
+		}
+	}
+	h.mu.Unlock()
+}
+
+// serveSSE streams campaign events to one client as server-sent
+// events: each api.Event travels as one `event: <type>` / `data:
+// <json>` frame. The stream opens with a synthetic status event (the
+// campaign's state right now, so a late subscriber is never blind),
+// then follows the live feed until the campaign reaches a terminal
+// state or the client disconnects.
+func serveSSE(w http.ResponseWriter, r *http.Request, h *hub, id string, current func() api.CampaignStatus) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		api.WriteError(w, http.StatusInternalServerError, api.CodeInternal, "streaming unsupported")
+		return
+	}
+	ch, cancel := h.subscribe(id)
+	defer cancel()
+
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-cache")
+	w.Header().Set("Connection", "keep-alive")
+	w.WriteHeader(http.StatusOK)
+
+	writeEvent := func(ev api.Event) bool {
+		data, err := json.Marshal(ev)
+		if err != nil {
+			return false
+		}
+		if _, err := fmt.Fprintf(w, "event: %s\ndata: %s\n\n", ev.Type, data); err != nil {
+			return false
+		}
+		fl.Flush()
+		return true
+	}
+
+	// Opening frame: where the campaign stands right now. Seq 0 marks
+	// it as synthetic (live events count from 1).
+	st := current()
+	if !writeEvent(api.Event{Type: api.EventStatus, Status: &st}) {
+		return
+	}
+	if st.State.Terminal() {
+		return
+	}
+	for {
+		select {
+		case <-r.Context().Done():
+			return
+		case ev := <-ch:
+			if !writeEvent(ev) {
+				return
+			}
+			if ev.Type == api.EventStatus && ev.Status != nil && ev.Status.State.Terminal() {
+				return
+			}
+		}
+	}
+}

@@ -1,0 +1,76 @@
+#!/usr/bin/env python3
+"""Strict Prometheus text-format 0.0.4 checker for CI smoke legs.
+
+Usage: promcheck.py FILE [FILE...]
+
+Every line of each capture must be a well-formed HELP/TYPE comment or
+sample (no stray comments, no duplicate TYPE for a family), and every
+histogram family must have cumulative buckets with the +Inf bucket
+equal to its _count. Prints the parsed series of each file as JSON on
+stdout (one object per file, keyed by path) so callers can make
+series-specific assertions without re-parsing.
+"""
+
+import json
+import re
+import sys
+
+METRIC = r"[a-zA-Z_:][a-zA-Z0-9_:]*"
+LABEL = r'[a-zA-Z_][a-zA-Z0-9_]*="(?:[^"\\\n]|\\\\|\\"|\\n)*"'
+SAMPLE = re.compile(
+    rf"^({METRIC})(\{{{LABEL}(?:,{LABEL})*\}})? (NaN|[+-]Inf|[+-]?[0-9][0-9.e+-]*)$"
+)
+
+
+def parse(path):
+    """Parse one exposition; assert on any format violation."""
+    series, typed = {}, set()
+    for ln in open(path):
+        ln = ln.rstrip("\n")
+        if not ln:
+            continue
+        if ln.startswith("# HELP ") or ln.startswith("# TYPE "):
+            parts = ln.split(" ", 3)
+            assert len(parts) == 4 and re.fullmatch(METRIC, parts[2]), ln
+            if parts[1] == "TYPE":
+                assert parts[3] in ("counter", "gauge", "histogram"), ln
+                assert parts[2] not in typed, f"duplicate TYPE for {parts[2]}"
+                typed.add(parts[2])
+            continue
+        assert not ln.startswith("#"), f"stray comment: {ln!r}"
+        m = SAMPLE.match(ln)
+        assert m, f"unparseable sample: {ln!r}"
+        series[m.group(1) + (m.group(2) or "")] = float(
+            m.group(3).replace("Inf", "inf")
+        )
+    # Histogram invariants: buckets cumulative, +Inf == _count.
+    for name in typed:
+        buckets = [(k, v) for k, v in series.items() if k.startswith(name + "_bucket{")]
+        if not buckets:
+            continue
+        by_stage = {}
+        for k, v in buckets:
+            stage = re.search(r'stage="([^"]*)"', k).group(1)
+            by_stage.setdefault(stage, []).append((k, v))
+        for stage, bs in by_stage.items():
+            vals = [v for _, v in bs]
+            assert vals == sorted(vals), f"{name}{{{stage}}} not cumulative"
+            inf = [v for k, v in bs if 'le="+Inf"' in k]
+            cnt = series[f'{name}_count{{stage="{stage}"}}']
+            assert inf == [cnt], f"{name}{{{stage}}} +Inf {inf} != count {cnt}"
+    return series
+
+
+def main(argv):
+    if len(argv) < 2:
+        sys.exit(__doc__)
+    out = {}
+    for path in argv[1:]:
+        out[path] = parse(path)
+        print(f"strict /metrics parse OK: {path}", file=sys.stderr)
+    json.dump(out, sys.stdout)
+    print()
+
+
+if __name__ == "__main__":
+    main(sys.argv)
