@@ -20,6 +20,11 @@
 // lbcoord over the same -journal-dir re-issues only the missing
 // ranges. See docs/distributed.md.
 //
+// The whole lifecycle lives in internal/coord (Registry + Session):
+// this command is wiring. lbfarmd -fleet embeds the same session per
+// submitted campaign — for long-lived fleets, prefer it (see
+// docs/service.md).
+//
 // SIGINT/SIGTERM drain: running jobs are canceled (workers sync their
 // journal tails), fetched shards stay on disk, and the process exits
 // with code 3; re-run the same command to finish.
@@ -42,12 +47,9 @@ import (
 	"net"
 	"net/http"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"strconv"
 	"strings"
-	"syscall"
-	"time"
 
 	"repro/internal/campaign"
 	"repro/internal/coord"
@@ -74,29 +76,14 @@ func main() {
 		anaFlag  = flag.String("analyzers", "", "comma-separated per-trial analyzers ('none' clears the spec's list)")
 		phases   = flag.String("analyzer-phases", "", "schedule phases the analyzers run over (after | before,after)")
 
-		splits     = flag.Int("splits", 0, "shard ranges to cut the sweep into (0 = 4 per static worker, minimum 8; more splits than workers lets the pool load-balance and re-issue cheaply)")
 		listen     = flag.String("listen", "127.0.0.1:0", "serve the control API (worker registration, /v1/status) on this host:port")
 		workersCSV = flag.String("workers", "", "comma-separated static worker addresses to dial directly (workers may also register themselves via lbfarm -coord)")
 		journalDir = flag.String("journal-dir", "journals", "directory for fetched shard journals — the durable lease table; re-running resumes from it")
 		out        = flag.String("out", "artifacts", "artifact directory")
-
-		liveness    = flag.Duration("liveness", 10*time.Second, "declare a worker dead after this long without a heartbeat or successful poll")
-		poll        = flag.Duration("poll", time.Second, "scheduler tick: status polls, dispatch, and straggler checks")
-		rpcTimeout  = flag.Duration("rpc-timeout", 5*time.Second, "per-RPC deadline for worker calls")
-		maxAttempts = flag.Int("max-attempts", 5, "per-range failure budget before the campaign fails loudly")
-		backoffBase = flag.Duration("backoff-base", 500*time.Millisecond, "first retry delay for a failed range (doubles per failure)")
-		backoffMax  = flag.Duration("backoff-max", 15*time.Second, "retry delay ceiling")
-		jitter      = flag.Float64("backoff-jitter", 0.2, "symmetric random jitter fraction on retry delays")
-
-		eventlogPath = flag.String("eventlog", "", "append every lease transition to this checksummed JSONL event log (default <journal-dir>/<name>"+coord.EventLogSuffix+"; 'none' disables)")
-		fleetOn      = flag.Bool("fleetinfo", true, "write the merged fleet telemetry sidecar <out>/<name>"+obs.FleetInfoSuffix+" next to the artifacts")
-		scrapeEvery  = flag.Duration("scrape", 5*time.Second, "scrape worker telemetry snapshots this often for the live fleet view (negative disables)")
-
-		noSpec       = flag.Bool("no-speculate", false, "disable speculative re-issue of straggling ranges")
-		slowFactor   = flag.Float64("slow-factor", 2, "speculate a range projected past this multiple of the median completed-range duration")
-		minCompleted = flag.Int("min-completed", 1, "completed ranges required before the straggler baseline is trusted")
-		stallWindow  = flag.Duration("stall-window", 30*time.Second, "speculate a range whose worker's throughput timeline is flat for this long (0 disables the stall rule)")
+		fleetOn    = flag.Bool("fleetinfo", true, "write the merged fleet telemetry sidecar <out>/<name>"+obs.FleetInfoSuffix+" next to the artifacts")
 	)
+	opts := coord.DefaultOptions()
+	opts.Bind(flag.CommandLine)
 	flag.Parse()
 
 	var spec *campaign.Spec
@@ -129,99 +116,53 @@ func main() {
 	if *phases != "" {
 		spec.AnalyzerPhases = split(*phases)
 	}
-	if err := spec.Normalize(); err != nil {
-		log.Fatal(err)
-	}
-	trials, err := spec.Trials()
-	if err != nil {
-		log.Fatal(err)
+
+	// The registry is seeded with the static workers before the session
+	// is built so splits auto-sizing sees the pool; self-registering
+	// workers flow in through the served registry routes afterwards.
+	reg := coord.NewRegistry(nil, log.Printf)
+	for _, addr := range split(*workersCSV) {
+		reg.Register(addr, addr)
 	}
 
-	static := split(*workersCSV)
-	n := *splits
-	if n == 0 {
-		n = 4 * len(static)
-		if n < 8 {
-			n = 8
-		}
-	}
-	if n > len(trials) {
-		n = len(trials)
-	}
-
-	// The event log lives with the shard journals: both are durable
-	// fault-tolerance records, and both survive an interrupted run for
-	// the re-run to extend.
-	var elog *coord.EventLog
-	if *eventlogPath != "none" {
-		hash, err := spec.Hash()
-		if err != nil {
-			log.Fatal(err)
-		}
-		path := *eventlogPath
-		if path == "" {
-			path = filepath.Join(*journalDir, spec.Name+coord.EventLogSuffix)
-		}
-		if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
-			log.Fatal(err)
-		}
-		elog, err = coord.OpenEventLog(path, spec.Name, hash, n)
-		if err != nil {
-			log.Fatal(err)
-		}
-		defer elog.Close()
-		log.Printf("event log: %s", path)
-	}
-
-	c, err := coord.New(coord.Config{
-		Spec:            spec,
-		Splits:          n,
-		JournalDir:      *journalDir,
-		LivenessTimeout: *liveness,
-		Poll:            *poll,
-		RPCTimeout:      *rpcTimeout,
-		MaxAttempts:     *maxAttempts,
-		Backoff:         coord.Backoff{Base: *backoffBase, Max: *backoffMax, Jitter: *jitter},
-		EventLog:        elog,
-		ScrapeInterval:  *scrapeEvery,
-		Straggler: coord.StragglerPolicy{
-			Disabled:     *noSpec,
-			MinCompleted: *minCompleted,
-			SlowFactor:   *slowFactor,
-			StallWindow:  *stallWindow,
-		},
-		Logf: log.Printf,
+	sess, err := coord.NewSession(coord.SessionConfig{
+		Spec:       spec,
+		Options:    opts,
+		JournalDir: *journalDir,
+		Registry:   reg,
+		Logf:       log.Printf,
 	})
 	if err != nil {
 		log.Fatal(err)
+	}
+	defer sess.Close()
+	if p := sess.EventLogPath(); p != "" {
+		log.Printf("event log: %s", p)
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
 		log.Fatal(err)
 	}
-	srv := &http.Server{Handler: c.Handler()}
+	srv := &http.Server{Handler: sess.Handler()}
 	go func() {
 		if err := srv.Serve(ln); err != nil && !errors.Is(err, http.ErrServerClosed) {
 			log.Fatal(err)
 		}
 	}()
-	log.Printf("coordinating %q: %d trials in %d ranges; control API on http://%s/v1/status",
-		spec.Name, len(trials), n, ln.Addr())
-	for _, addr := range static {
-		c.Register(addr, addr)
-	}
+	log.Printf("coordinating %q: %d ranges; control API on http://%s/v1/status",
+		spec.Name, sess.Splits(), ln.Addr())
 
-	ctx, cancel := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, cancel := coord.SignalContext(context.Background())
 	defer cancel()
-	res, err := c.Run(ctx)
-	sctx, scancel := context.WithTimeout(context.Background(), 5*time.Second)
+	res, err := sess.Run(ctx)
+	sctx, scancel := context.WithTimeout(context.Background(), coord.Drain)
 	_ = srv.Shutdown(sctx)
 	scancel()
 	if errors.Is(err, context.Canceled) {
-		st := c.Stats()
+		st := sess.Stats()
 		fmt.Printf("interrupted: %d of %d ranges journaled under %s\nre-run the same command to finish — journaled ranges are not re-dispatched\n",
-			st.Journaled, n, *journalDir)
+			st.Journaled, sess.Splits(), *journalDir)
 		os.Exit(exitInterrupted)
 	}
 	if err != nil {
@@ -233,16 +174,14 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	st := c.Stats()
+	st := sess.Stats()
 	fmt.Printf("artifacts: %s %s\n", jp, cp)
 	fmt.Printf("fleet: %d registrations, %d deaths, %d dispatches, %d requeues, %d speculations, %d duplicates discarded\n",
 		st.Registered, st.DeadWorkers, st.Dispatches, st.Requeues, st.Speculations, st.DuplicatesDiscarded)
 
 	if *fleetOn {
-		// One last scrape of the surviving workers, on a fresh context:
-		// the run context may already be canceled by the drain path.
-		fctx, fcancel := context.WithTimeout(context.Background(), *rpcTimeout)
-		fi := c.FleetInfo(fctx)
+		fctx, fcancel := context.WithTimeout(context.Background(), opts.RPCTimeout)
+		fi := sess.FleetInfo(fctx)
 		fcancel()
 		fp := filepath.Join(*out, spec.Name+obs.FleetInfoSuffix)
 		if err := fi.Write(fp); err != nil {

@@ -79,6 +79,61 @@ type HeartbeatAck struct {
 }
 
 // ---------------------------------------------------------------------
+// Coordinator status dialect: the control-plane snapshot a coordinator
+// publishes — on lbcoord's /v1/status and, since the campaign service
+// grew a fleet executor, embedded in CampaignStatus.Fleet. The types
+// live here so both dialects share one wire shape; internal/coord
+// aliases them under its domain names (Stats, WorkerView, …).
+
+// CoordStats counts a coordinator's fault-handling events.
+type CoordStats struct {
+	Registered          int `json:"workers_registered"`
+	DeadWorkers         int `json:"workers_dead"`
+	Dispatches          int `json:"dispatches"`
+	Requeues            int `json:"requeues"`
+	Speculations        int `json:"speculations"`
+	DuplicatesDiscarded int `json:"duplicates_discarded"`
+	Journaled           int `json:"ranges_journaled"`
+	RecoveredJournals   int `json:"recovered_journals"`
+}
+
+// CoordWorker is the snapshot of one registered worker.
+type CoordWorker struct {
+	ID           string `json:"id"`
+	Job          string `json:"job,omitempty"`
+	State        string `json:"state,omitempty"`
+	Done         int    `json:"done"`
+	Total        int    `json:"total"`
+	LastSeenMS   int64  `json:"last_seen_ms"` // age of last contact
+	RangeLeased  int    `json:"range_leased"` // -1 when idle
+	Unresponsive bool   `json:"unresponsive,omitempty"`
+}
+
+// CoordLease is the snapshot of one shard range's lease.
+type CoordLease struct {
+	Range      Range    `json:"range"`
+	State      string   `json:"state"`
+	Trace      string   `json:"trace,omitempty"`
+	Workers    []string `json:"workers,omitempty"`
+	Dispatches int      `json:"dispatches"`
+	Failures   int      `json:"failures"`
+	LastErr    string   `json:"last_err,omitempty"`
+	Path       string   `json:"path,omitempty"`
+}
+
+// CoordStatus is a coordinator's full observable state: the lease
+// table, the worker pool, and the fault counters.
+type CoordStatus struct {
+	Name     string        `json:"name"`
+	SpecHash string        `json:"spec_hash"`
+	Trials   int           `json:"trials"`
+	Splits   int           `json:"splits"`
+	Leases   []CoordLease  `json:"leases"`
+	Workers  []CoordWorker `json:"workers"`
+	Stats    CoordStats    `json:"stats"`
+}
+
+// ---------------------------------------------------------------------
 // Campaign service dialect: the lbfarmd submission API. A submission
 // body is a plain campaign.Spec; these are the response and event
 // shapes.
@@ -124,9 +179,14 @@ type CampaignStatus struct {
 	Total    int `json:"total"`
 	// Error carries the failure reason of a failed campaign.
 	Error string `json:"error,omitempty"`
-	// Artifacts maps artifact kind ("json", "csv", "runinfo") to the
-	// service path it is served under, once the campaign is done.
+	// Artifacts maps artifact kind ("json", "csv", "runinfo", and
+	// "fleetinfo" for fleet-executed campaigns) to the service path it
+	// is served under, once the campaign is done.
 	Artifacts map[string]string `json:"artifacts,omitempty"`
+
+	// Fleet is the embedded coordinator's live control-plane snapshot,
+	// present only while a campaign is running on the fleet executor.
+	Fleet *CoordStatus `json:"fleet,omitempty"`
 
 	SubmittedAt time.Time  `json:"submitted_at"`
 	StartedAt   *time.Time `json:"started_at,omitempty"`

@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/api"
 	"repro/internal/campaign"
 	"repro/internal/journal"
 	"repro/internal/obs"
@@ -68,6 +69,16 @@ type Config struct {
 	// HTTP Client). Tests inject fault-wrapped handles here.
 	Dial func(id, addr string) Worker
 
+	// OnShard, when non-nil, receives every shard's validated trial rows
+	// the moment the shard becomes durable: once per recovered journal
+	// during New (recovered=true) and once per landed journal during Run
+	// (recovered=false). Calls are serialised — recovery runs before New
+	// returns and landings happen on the scheduler goroutine — so an
+	// embedding campaign service can fan rows into live counters and
+	// event streams without extra locking. Rows arrive in shard order
+	// within a call but shards land in completion order.
+	OnShard func(rng Range, rows []campaign.TrialResult, recovered bool)
+
 	// Logf receives the coordinator's event log (nil = silent).
 	Logf func(format string, args ...any)
 
@@ -77,41 +88,19 @@ type Config struct {
 }
 
 // Stats counts the control plane's fault-handling events; the chaos
-// tests assert on them and the status surfaces publish them.
-type Stats struct {
-	Registered          int `json:"workers_registered"`
-	DeadWorkers         int `json:"workers_dead"`
-	Dispatches          int `json:"dispatches"`
-	Requeues            int `json:"requeues"`
-	Speculations        int `json:"speculations"`
-	DuplicatesDiscarded int `json:"duplicates_discarded"`
-	Journaled           int `json:"ranges_journaled"`
-	RecoveredJournals   int `json:"recovered_journals"`
-}
+// tests assert on them and the status surfaces publish them. The wire
+// type lives in internal/api (the campaign service embeds it in
+// CampaignStatus.Fleet).
+type Stats = api.CoordStats
 
-// WorkerView is the exported snapshot of one registered worker.
-type WorkerView struct {
-	ID           string `json:"id"`
-	Job          string `json:"job,omitempty"`
-	State        string `json:"state,omitempty"`
-	Done         int    `json:"done"`
-	Total        int    `json:"total"`
-	LastSeenMS   int64  `json:"last_seen_ms"` // age of last contact
-	RangeLeased  int    `json:"range_leased"` // -1 when idle
-	Unresponsive bool   `json:"unresponsive,omitempty"`
-}
+// WorkerView is the exported snapshot of one registered worker (wire
+// type api.CoordWorker).
+type WorkerView = api.CoordWorker
 
 // StatusSnapshot is the coordinator's full observable state, served on
-// /v1/status and published on the expvar surface.
-type StatusSnapshot struct {
-	Name     string       `json:"name"`
-	SpecHash string       `json:"spec_hash"`
-	Trials   int          `json:"trials"`
-	Splits   int          `json:"splits"`
-	Leases   []LeaseView  `json:"leases"`
-	Workers  []WorkerView `json:"workers"`
-	Stats    Stats        `json:"stats"`
-}
+// /v1/status and published on the expvar surface (wire type
+// api.CoordStatus).
+type StatusSnapshot = api.CoordStatus
 
 // workerState is the coordinator's book on one registered worker.
 type workerState struct {
@@ -285,6 +274,9 @@ func (c *Coordinator) recover() error {
 		c.stats.RecoveredJournals++
 		c.event(c.rangeEvent(EvShardRecovered, l))
 		c.cfg.Logf("recovered shard %d/%d from %s", l.rng.Index+1, l.rng.Count, path)
+		if c.cfg.OnShard != nil {
+			c.cfg.OnShard(l.rng, j.Rows, true)
+		}
 	}
 	return nil
 }

@@ -122,14 +122,5 @@ type lease struct {
 }
 
 // LeaseView is the exported snapshot of one lease for status surfaces
-// and tests.
-type LeaseView struct {
-	Range      Range    `json:"range"`
-	State      string   `json:"state"`
-	Trace      string   `json:"trace,omitempty"`
-	Workers    []string `json:"workers,omitempty"`
-	Dispatches int      `json:"dispatches"`
-	Failures   int      `json:"failures"`
-	LastErr    string   `json:"last_err,omitempty"`
-	Path       string   `json:"path,omitempty"`
-}
+// and tests (wire type api.CoordLease).
+type LeaseView = api.CoordLease

@@ -1,0 +1,168 @@
+package coord
+
+import (
+	"net/http"
+	"sort"
+	"sync"
+
+	"repro/internal/api"
+)
+
+// Registry is the long-lived worker pool of a process that runs many
+// campaigns: workers register and heartbeat against it once, and every
+// Coordinator attached to it sees the full pool for the duration of its
+// campaign. This is what lets lbfarmd accept worker registrations
+// continuously while coordinators come and go per campaign — the
+// registry outlives them all.
+//
+// A standalone lbcoord uses it too (one coordinator, attached for the
+// whole process), so both entry points share one registration path.
+type Registry struct {
+	dial func(id, addr string) Worker
+	logf func(format string, args ...any)
+
+	mu       sync.Mutex
+	workers  map[string]string // id → addr
+	attached map[*Coordinator]struct{}
+}
+
+// NewRegistry builds an empty pool. dial builds a Worker handle from a
+// registration (nil = the HTTP Client); logf receives the registry's
+// event log (nil = silent).
+func NewRegistry(dial func(id, addr string) Worker, logf func(format string, args ...any)) *Registry {
+	if dial == nil {
+		dial = func(id, addr string) Worker { return NewClient(id, addr) }
+	}
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &Registry{
+		dial:     dial,
+		logf:     logf,
+		workers:  map[string]string{},
+		attached: map[*Coordinator]struct{}{},
+	}
+}
+
+// Register adds (or refreshes) a worker and forwards a freshly dialed
+// handle to every attached coordinator. Re-registering a known ID
+// replaces its handle everywhere — the worker restarted or moved.
+func (r *Registry) Register(id, addr string) {
+	r.mu.Lock()
+	known := r.workers[id] == addr
+	r.workers[id] = addr
+	n := len(r.workers)
+	cs := r.attachedLocked()
+	r.mu.Unlock()
+	if !known {
+		r.logf("fleet: worker %s registered at %s (%d in pool)", id, addr, n)
+	}
+	for _, c := range cs {
+		c.AddWorker(r.dial(id, addr))
+	}
+}
+
+// Observe forwards a push heartbeat to every attached coordinator and
+// reports whether the registry knows the worker (an unknown worker
+// should re-register).
+func (r *Registry) Observe(id string, st WorkerStatus) bool {
+	r.mu.Lock()
+	_, known := r.workers[id]
+	cs := r.attachedLocked()
+	r.mu.Unlock()
+	for _, c := range cs {
+		c.Observe(id, st)
+	}
+	return known
+}
+
+// Attach seeds c with every registered worker and forwards future
+// registrations and heartbeats to it until the returned detach func
+// runs. Campaign-scoped: the fleet executor attaches at campaign start
+// and detaches when the campaign ends.
+func (r *Registry) Attach(c *Coordinator) (detach func()) {
+	r.mu.Lock()
+	ids := make([]string, 0, len(r.workers))
+	for id := range r.workers {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	seed := make(map[string]string, len(ids))
+	for _, id := range ids {
+		seed[id] = r.workers[id]
+	}
+	r.attached[c] = struct{}{}
+	r.mu.Unlock()
+	for _, id := range ids {
+		c.AddWorker(r.dial(id, seed[id]))
+	}
+	return func() {
+		r.mu.Lock()
+		delete(r.attached, c)
+		r.mu.Unlock()
+	}
+}
+
+// Size is the registered pool size.
+func (r *Registry) Size() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.workers)
+}
+
+// Addrs returns the registered workers as a sorted id → addr map copy.
+func (r *Registry) Addrs() map[string]string {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	out := make(map[string]string, len(r.workers))
+	for id, addr := range r.workers {
+		out[id] = addr
+	}
+	return out
+}
+
+// attachedLocked snapshots the attached coordinators; caller holds
+// r.mu. Forwarding happens outside the lock so a coordinator's own
+// locking never nests inside the registry's.
+func (r *Registry) attachedLocked() []*Coordinator {
+	cs := make([]*Coordinator, 0, len(r.attached))
+	for c := range r.attached {
+		cs = append(cs, c)
+	}
+	return cs
+}
+
+// Routes mounts the worker-facing registration API on mux — the same
+// two endpoints lbcoord has always served, now shared by lbfarmd
+// -fleet:
+//
+//	POST /v1/register   body: api.Registration {id, addr} — join (or
+//	                    rejoin) the pool
+//	POST /v1/heartbeat  body: api.Registration {id, status} →
+//	                    api.HeartbeatAck — push liveness
+//
+// Registration is open by design: the registry trusts its network,
+// like the rest of the lab-cluster workflow this automates.
+func (r *Registry) Routes(mux *http.ServeMux) {
+	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, req *http.Request) {
+		var reg api.Registration
+		if err := api.Decode(req.Body, &reg); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding registration: %v", err)
+			return
+		}
+		if reg.ID == "" || reg.Addr == "" {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "registration needs id and addr")
+			return
+		}
+		r.Register(reg.ID, reg.Addr)
+		w.WriteHeader(http.StatusNoContent)
+	})
+	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, req *http.Request) {
+		var reg api.Registration
+		if err := api.Decode(req.Body, &reg); err != nil {
+			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding heartbeat: %v", err)
+			return
+		}
+		api.WriteJSON(w, http.StatusOK, api.HeartbeatAck{Known: r.Observe(reg.ID, reg.Status)})
+	})
+}

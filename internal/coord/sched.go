@@ -390,6 +390,13 @@ func (c *Coordinator) collect(ctx context.Context, fetches []fetchOrder) {
 			l.rng.Index+1, l.rng.Count, f.id, c.stats.Journaled, len(c.leases))
 		c.mu.Unlock()
 
+		// The shard is durable: hand its rows to the embedding layer.
+		// Outside the lock — the callback may publish events or take its
+		// own locks — and on this goroutine only, so calls never overlap.
+		if c.cfg.OnShard != nil {
+			c.cfg.OnShard(l.rng, j.Rows, false)
+		}
+
 		// Cancel the losing twin(s) so they stop burning a worker.
 		for id, jobID := range losers {
 			c.mu.Lock()

@@ -7,9 +7,9 @@ import (
 	"repro/internal/obs"
 )
 
-// Handler serves the coordinator's control API in the shared wire
-// dialect (internal/api — JSON bodies, the {"error":{code,message}}
-// envelope on every failure):
+// Handler serves a standalone coordinator's control API in the shared
+// wire dialect (internal/api — JSON bodies, the
+// {"error":{code,message}} envelope on every failure):
 //
 //	POST /v1/register   body: api.Registration {id, addr} — join (or
 //	                    rejoin) the pool
@@ -25,31 +25,16 @@ import (
 //	                      other server mounts (obs.RegisterDebug)
 //	GET  /debug/pprof/  → net/http/pprof profile family
 //
-// Registration is open by design: the coordinator trusts its network,
-// like the rest of the lab-cluster workflow this automates.
+// The registration endpoints are Registry.Routes over a private
+// single-coordinator registry — the exact code path lbfarmd -fleet
+// serves, so a worker cannot tell the two apart. Registration is open
+// by design: the coordinator trusts its network, like the rest of the
+// lab-cluster workflow this automates.
 func (c *Coordinator) Handler() http.Handler {
+	reg := NewRegistry(c.cfg.Dial, nil)
+	reg.Attach(c) // never detached: the registry dies with the handler
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/register", func(w http.ResponseWriter, r *http.Request) {
-		var reg api.Registration
-		if err := api.Decode(r.Body, &reg); err != nil {
-			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding registration: %v", err)
-			return
-		}
-		if reg.ID == "" || reg.Addr == "" {
-			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "registration needs id and addr")
-			return
-		}
-		c.Register(reg.ID, reg.Addr)
-		w.WriteHeader(http.StatusNoContent)
-	})
-	mux.HandleFunc("POST /v1/heartbeat", func(w http.ResponseWriter, r *http.Request) {
-		var reg api.Registration
-		if err := api.Decode(r.Body, &reg); err != nil {
-			api.WriteError(w, http.StatusBadRequest, api.CodeBadRequest, "decoding heartbeat: %v", err)
-			return
-		}
-		api.WriteJSON(w, http.StatusOK, api.HeartbeatAck{Known: c.Observe(reg.ID, reg.Status)})
-	})
+	reg.Routes(mux)
 	mux.HandleFunc("GET /v1/status", func(w http.ResponseWriter, r *http.Request) {
 		api.WriteJSON(w, http.StatusOK, c.Status())
 	})

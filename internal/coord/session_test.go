@@ -1,0 +1,350 @@
+package coord
+
+// Registry + Session are the library seam lbcoord and lbfarmd -fleet
+// share: these tests pin the pool semantics (seed on attach, forward
+// while attached, stop at detach) and the session lifecycle (auto
+// splits, default event-log placement, recovery through OnShard).
+
+import (
+	"context"
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+)
+
+// newWorkerURL stands up a real WorkerServer behind real HTTP and
+// returns its base URL — what a worker would advertise when
+// registering.
+func newWorkerURL(t *testing.T, id string, hooks Hooks) string {
+	t.Helper()
+	ws, err := NewWorkerServer(WorkerConfig{
+		ID: id, Dir: t.TempDir(), Workers: 2, Hooks: hooks,
+		Logf: func(format string, args ...any) { t.Logf("worker %s: "+format, append([]any{id}, args...)...) },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := httptest.NewServer(ws.Handler())
+	t.Cleanup(hs.Close)
+	return hs.URL
+}
+
+// testOptions is testConfig's knob set projected onto Options — the
+// fast-twitch settings a Session-based test wants.
+func testOptions(splits int) Options {
+	o := DefaultOptions()
+	o.Splits = splits
+	o.Liveness = 300 * time.Millisecond
+	o.Poll = 20 * time.Millisecond
+	o.BackoffBase = 10 * time.Millisecond
+	o.BackoffMax = 50 * time.Millisecond
+	o.MaxAttempts = 8
+	o.NoSpeculate = true
+	return o
+}
+
+// TestRegistryAttachSeedForwardDetach: a coordinator attached to a
+// registry is seeded with the existing pool, receives later
+// registrations, and stops receiving them after detach.
+func TestRegistryAttachSeedForwardDetach(t *testing.T) {
+	dialed := map[string]int{}
+	var mu sync.Mutex
+	reg := NewRegistry(func(id, addr string) Worker {
+		mu.Lock()
+		dialed[id]++
+		mu.Unlock()
+		return &fakeWorker{id: id}
+	}, t.Logf)
+
+	reg.Register("w1", "addr1")
+	reg.Register("w2", "addr2")
+	if reg.Size() != 2 {
+		t.Fatalf("pool size = %d, want 2", reg.Size())
+	}
+
+	c, err := New(testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	detach := reg.Attach(c)
+	if got := c.Workers(); got != 2 {
+		t.Fatalf("seeded workers = %d, want 2", got)
+	}
+
+	reg.Register("w3", "addr3")
+	if got := c.Workers(); got != 3 {
+		t.Fatalf("workers after live registration = %d, want 3", got)
+	}
+	// Re-registering a known worker at a new address re-dials it.
+	reg.Register("w1", "addr1-moved")
+	mu.Lock()
+	redials := dialed["w1"]
+	mu.Unlock()
+	if redials < 2 {
+		t.Fatalf("w1 dialed %d times, want >= 2 after address change", redials)
+	}
+
+	detach()
+	reg.Register("w4", "addr4")
+	if got := c.Workers(); got != 3 {
+		t.Fatalf("workers after detach = %d, want 3 (no forwarding)", got)
+	}
+	if reg.Size() != 4 {
+		t.Fatalf("registry size = %d, want 4", reg.Size())
+	}
+
+	// Observe reports known/unknown regardless of attachment.
+	if !reg.Observe("w4", WorkerStatus{}) {
+		t.Error("Observe(w4) = false, want known")
+	}
+	if reg.Observe("stranger", WorkerStatus{}) {
+		t.Error("Observe(stranger) = true, want unknown")
+	}
+}
+
+// TestRegistryRoutes: the HTTP registration passthrough feeds attached
+// coordinators — the exact path lbfarm -worker -coord exercises against
+// both lbcoord and lbfarmd -fleet.
+func TestRegistryRoutes(t *testing.T) {
+	reg := NewRegistry(func(id, addr string) Worker { return &fakeWorker{id: id} }, t.Logf)
+	c, err := New(testConfig(t, 4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer reg.Attach(c)()
+
+	mux := http.NewServeMux()
+	reg.Routes(mux)
+	srv := httptest.NewServer(mux)
+	defer srv.Close()
+
+	resp, err := http.Post(srv.URL+"/v1/register", "application/json",
+		strings.NewReader(`{"id":"w1","addr":"http://w1"}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusNoContent {
+		t.Fatalf("register = %d, want 204", resp.StatusCode)
+	}
+	if got := c.Workers(); got != 1 {
+		t.Fatalf("workers after HTTP registration = %d, want 1", got)
+	}
+
+	for body, want := range map[string]bool{
+		`{"id":"w1"}`:       true,
+		`{"id":"stranger"}`: false,
+	} {
+		resp, err := http.Post(srv.URL+"/v1/heartbeat", "application/json", strings.NewReader(body))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var ack api.HeartbeatAck
+		if err := api.Decode(resp.Body, &ack); err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		if ack.Known != want {
+			t.Errorf("heartbeat %s → known=%v, want %v", body, ack.Known, want)
+		}
+	}
+
+	// Malformed registrations answer with the shared envelope.
+	resp, err = http.Post(srv.URL+"/v1/register", "application/json", strings.NewReader(`{"id":""}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("empty registration = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestAutoSplits pins the shared auto-sizing rule.
+func TestAutoSplits(t *testing.T) {
+	for _, tc := range []struct {
+		splits, workers, trials, want int
+	}{
+		{0, 0, 100, 8},   // empty pool: the floor
+		{0, 1, 100, 8},   // small pool: still the floor
+		{0, 3, 100, 12},  // 4 per worker
+		{0, 3, 10, 10},   // capped at one per trial
+		{6, 50, 100, 6},  // explicit splits win over the pool
+		{200, 2, 24, 24}, // explicit splits still capped by trials
+	} {
+		if got := AutoSplits(tc.splits, tc.workers, tc.trials); got != tc.want {
+			t.Errorf("AutoSplits(%d, %d, %d) = %d, want %d", tc.splits, tc.workers, tc.trials, got, tc.want)
+		}
+	}
+}
+
+// TestSessionEndToEnd: a session over a registry-fed pool runs the
+// campaign to byte-identical artifacts, writes its event log at the
+// default per-campaign path, and reports rows through OnShard.
+func TestSessionEndToEnd(t *testing.T) {
+	reg := NewRegistry(nil, t.Logf)
+	for _, id := range []string{"w1", "w2"} {
+		reg.Register(id, newWorkerURL(t, id, Hooks{}))
+	}
+
+	dir := t.TempDir()
+	var mu sync.Mutex
+	var live int
+	sess, err := NewSession(SessionConfig{
+		Spec:       testSpec(),
+		Options:    testOptions(4),
+		JournalDir: dir,
+		Registry:   reg,
+		OnShard: func(rng Range, rows []campaign.TrialResult, recovered bool) {
+			mu.Lock()
+			defer mu.Unlock()
+			if recovered {
+				t.Errorf("fresh run reported range %d as recovered", rng.Index)
+			}
+			live += len(rows)
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+
+	if sess.Splits() != 4 {
+		t.Errorf("splits = %d, want 4", sess.Splits())
+	}
+	wantLog := filepath.Join(dir, "chaos"+EventLogSuffix)
+	if sess.EventLogPath() != wantLog {
+		t.Errorf("event log at %s, want %s", sess.EventLogPath(), wantLog)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel()
+	res, err := sess.Run(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+	if live != 24 {
+		t.Errorf("OnShard delivered %d live rows, want 24", live)
+	}
+	if st := sess.Status(); st.Stats.Journaled != 4 {
+		t.Errorf("status journaled = %d, want 4", st.Stats.Journaled)
+	}
+	if err := sess.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if _, events, err := ReadEventLog(wantLog); err != nil {
+		t.Fatal(err)
+	} else if events[len(events)-1].Type != EvMerged {
+		t.Errorf("last event = %s, want merged", events[len(events)-1].Type)
+	}
+}
+
+// TestSessionResume: a second session over an interrupted session's
+// journal dir recovers the landed shards (reported through OnShard with
+// recovered=true), re-runs only the rest, and stays byte-identical —
+// the seam FleetExecutor's drain/resume rides on.
+func TestSessionResume(t *testing.T) {
+	reg := NewRegistry(nil, t.Logf)
+	slow := Hooks{SinkDelay: func(campaign.TrialResult) { time.Sleep(5 * time.Millisecond) }}
+	reg.Register("w1", newWorkerURL(t, "w1", slow))
+	dir := t.TempDir()
+
+	s1, err := NewSession(SessionConfig{
+		Spec: testSpec(), Options: testOptions(4), JournalDir: dir, Registry: reg, Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx1, cancel1 := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		_, _ = s1.Run(ctx1)
+	}()
+	waitFor(t, func() bool { return s1.Stats().Journaled >= 2 })
+	cancel1()
+	<-done
+	landed := s1.Stats().Journaled
+	if err := s1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	var recovered int
+	s2, err := NewSession(SessionConfig{
+		Spec: testSpec(), Options: testOptions(4), JournalDir: dir, Registry: reg,
+		OnShard: func(rng Range, rows []campaign.TrialResult, rec bool) {
+			if rec {
+				recovered += len(rows)
+			}
+		},
+		Logf: t.Logf,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := s2.Stats().RecoveredJournals; got < landed {
+		t.Errorf("recovered journals = %d, first session landed %d", got, landed)
+	}
+	if recovered < 2*6 {
+		t.Errorf("OnShard recovered %d rows, want >= 12 (2 shards of 6)", recovered)
+	}
+
+	ctx2, cancel2 := context.WithTimeout(context.Background(), 60*time.Second)
+	defer cancel2()
+	res, err := s2.Run(ctx2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkArtifacts(t, res)
+
+	// The reopened event log extends the first session's history.
+	_, events, err := ReadEventLog(s2.EventLogPath())
+	if err != nil {
+		t.Fatal(err)
+	}
+	recEvents := 0
+	for _, ev := range events {
+		if ev.Type == EvShardRecovered {
+			recEvents++
+		}
+	}
+	if recEvents < 2 {
+		t.Errorf("event log records %d shard recoveries, want >= 2", recEvents)
+	}
+}
+
+// TestSessionEventLogDisabled: Options.EventLog "none" runs without a
+// log file.
+func TestSessionEventLogDisabled(t *testing.T) {
+	opts := testOptions(2)
+	opts.EventLog = "none"
+	dir := t.TempDir()
+	sess, err := NewSession(SessionConfig{Spec: testSpec(), Options: opts, JournalDir: dir, Logf: t.Logf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer sess.Close()
+	if sess.EventLogPath() != "" {
+		t.Errorf("event log path = %q, want empty", sess.EventLogPath())
+	}
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range ents {
+		if strings.HasSuffix(e.Name(), EventLogSuffix) {
+			t.Errorf("unexpected event log %s", e.Name())
+		}
+	}
+}

@@ -1,14 +1,12 @@
 package service
 
 import (
-	"bytes"
 	"encoding/json"
 	"errors"
 	"fmt"
 	"io"
 	"net/http"
 	"os"
-	"path/filepath"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -16,9 +14,35 @@ import (
 
 	"repro/internal/api"
 	"repro/internal/campaign"
-	"repro/internal/journal"
 	"repro/internal/obs"
 	"repro/internal/progress"
+)
+
+// Optional executor capabilities the daemon probes for. The fleet
+// executor implements all of them; a plain Executor implements none
+// and the daemon behaves exactly as it did when the engine was
+// hard-wired in.
+type (
+	// fleetReporter contributes the CampaignStatus.Fleet block of a
+	// running campaign.
+	fleetReporter interface {
+		FleetStatus(id string) *api.CoordStatus
+	}
+	// extraArtifactor contributes executor-specific artifacts (the
+	// fleetinfo document) to a finished campaign's set.
+	extraArtifactor interface {
+		ExtraArtifacts(id string) map[string][]byte
+	}
+	// routeProvider mounts executor endpoints (worker registration) on
+	// the daemon's API mux.
+	routeProvider interface {
+		Routes(mux *http.ServeMux)
+	}
+	// metricsWriter appends executor metric families (lbfleet_) to the
+	// daemon's /metrics exposition.
+	metricsWriter interface {
+		WriteMetrics(w io.Writer) error
+	}
 )
 
 // Hooks are the daemon's test seams; the zero value is production.
@@ -42,8 +66,19 @@ type Config struct {
 	QueueDepth int
 	// MaxRuns is how many campaigns execute concurrently; ≤ 0 means 1.
 	MaxRuns int
-	// Workers is each campaign's engine pool size (≤ 0 = GOMAXPROCS).
+	// Workers is each campaign's engine pool size (≤ 0 = GOMAXPROCS,
+	// divided across MaxRuns). When MaxRuns × Workers oversubscribes
+	// GOMAXPROCS the daemon caps the per-campaign pool — engine workers
+	// are CPU-bound, so oversubscription only adds scheduler thrash —
+	// unless AllowOversubscribe is set. Ignored by non-local executors.
 	Workers int
+	// AllowOversubscribe keeps an explicit MaxRuns × Workers >
+	// GOMAXPROCS request instead of capping it (still logged loudly).
+	AllowOversubscribe bool
+	// Executor runs admitted campaigns: nil means the LocalExecutor
+	// (the in-process engine over JournalDir); a FleetExecutor
+	// dispatches to the registered worker fleet instead.
+	Executor Executor
 	// ProgressEvery is the SSE progress-event cadence; ≤ 0 means 250ms.
 	ProgressEvery time.Duration
 	// Logf receives the daemon's event log (nil = silent).
@@ -134,6 +169,10 @@ func New(cfg Config) (*Daemon, error) {
 	}
 	if cfg.Logf == nil {
 		cfg.Logf = func(string, ...any) {}
+	}
+	if cfg.Executor == nil {
+		cfg.Workers = capWorkers(cfg.Workers, cfg.MaxRuns, cfg.AllowOversubscribe, cfg.Logf)
+		cfg.Executor = &LocalExecutor{Dir: cfg.JournalDir, Workers: cfg.Workers}
 	}
 
 	recs, err := cfg.Store.Records()
@@ -437,7 +476,13 @@ func (d *Daemon) WriteMetrics(w io.Writer) error {
 	p.Counter("lbfarmd_campaigns_done_total", "Campaigns completed successfully.", obs.Sample{Value: float64(st.CampaignsDone)})
 	p.Counter("lbfarmd_campaigns_failed_total", "Campaigns that ended in an error.", obs.Sample{Value: float64(st.CampaignsFail)})
 	p.Snapshot("lb_", d.MergedSnapshot())
-	return p.Err()
+	if err := p.Err(); err != nil {
+		return err
+	}
+	if mw, ok := d.cfg.Executor.(metricsWriter); ok {
+		return mw.WriteMetrics(w)
+	}
+	return nil
 }
 
 // statusLocked composes the wire status of c. Caller holds d.mu.
@@ -455,19 +500,14 @@ func (d *Daemon) statusLocked(id string, c *camp) api.CampaignStatus {
 		FinishedAt:  c.finishedAt,
 	}
 	if c.state == api.CampaignDone {
-		st.Artifacts = ArtifactPaths(id)
+		st.Artifacts = d.artifactPaths(id)
+	}
+	if c.state == api.CampaignRunning {
+		if fr, ok := d.cfg.Executor.(fleetReporter); ok {
+			st.Fleet = fr.FleetStatus(id)
+		}
 	}
 	return st
-}
-
-// ArtifactPaths maps artifact kind to the service path it is served
-// under for one campaign.
-func ArtifactPaths(id string) map[string]string {
-	return map[string]string{
-		KindJSON:    "/v1/artifacts/" + id + ".json",
-		KindCSV:     "/v1/artifacts/" + id + ".csv",
-		KindRunInfo: "/v1/artifacts/" + id + ".runinfo.json",
-	}
 }
 
 // publishStatus emits a status event on the campaign's stream.
@@ -528,8 +568,8 @@ func (d *Daemon) run(c *camp) {
 			runErr = err
 			break
 		}
-		if err := os.Remove(d.journalPath(id)); err != nil && !errors.Is(err, os.ErrNotExist) {
-			d.cfg.Logf("campaign %s: removing merged journal: %v", id, err)
+		if err := d.cfg.Executor.Cleanup(id); err != nil {
+			d.cfg.Logf("campaign %s: cleaning executor scratch: %v", id, err)
 		}
 		d.campaignsDone.Add(1)
 		d.setState(id, c, func(c *camp) {
@@ -564,50 +604,17 @@ func (d *Daemon) run(c *camp) {
 	d.cfg.Logf("campaign %s (%s): failed: %v", id[:12], c.spec.Name, runErr)
 }
 
-// journalPath is where campaign id journals while running.
-func (d *Daemon) journalPath(id string) string {
-	return filepath.Join(d.cfg.JournalDir, id+".jsonl")
-}
-
-// execute is the engine-and-journal plumbing of one attempt: resume
-// the campaign's journal if a previous daemon left one, create it
-// otherwise, and run the engine with the sink fanning out to the
-// journal, the live counters, and the SSE stream.
+// execute runs one attempt through the configured executor: the daemon
+// contributes the counter/SSE fan-out (the Sink), the resume baseline
+// (OnResume), and the periodic progress emitter; the executor decides
+// whether trials run on the local engine or the worker fleet.
 func (d *Daemon) execute(id string, c *camp, set *obs.Set, start time.Time) (*campaign.Result, error) {
-	hdr, err := journal.NewHeader(c.spec, 0, 1)
-	if err != nil {
-		return nil, err
-	}
-	path := d.journalPath(id)
-	var (
-		w    *journal.Writer
-		done []campaign.TrialResult
-	)
-	if _, serr := os.Stat(path); serr == nil {
-		w, done, err = journal.Resume(path, hdr)
-		if err == nil && len(done) > 0 {
-			d.cfg.Logf("campaign %s: resuming journal, %d of %d trials already done", id[:12], len(done), c.total)
-		}
-	} else {
-		w, err = journal.Create(path, hdr)
-	}
-	if err != nil {
-		return nil, err
-	}
-	w.Obs = set.Aux()
-
-	base := int64(len(done))
-	c.doneN.Store(base)
-	var accepted int64
-	for _, r := range done {
-		if r.Outcome == campaign.OutcomeOK {
-			accepted++
-		}
-	}
-	c.acceptedN.Store(accepted)
+	// base is the resume baseline for the progress line — set by the
+	// executor's OnResume before any live trial runs.
+	var base atomic.Int64
 
 	// Progress emitter: one SSE progress event per tick while the
-	// engine runs, and a final one when it stops.
+	// executor runs, and a final one when it stops.
 	pstop := make(chan struct{})
 	pdone := make(chan struct{})
 	go func() {
@@ -615,7 +622,7 @@ func (d *Daemon) execute(id string, c *camp, set *obs.Set, start time.Time) (*ca
 		tick := time.NewTicker(d.cfg.ProgressEvery)
 		defer tick.Stop()
 		progress.Loop(tick.C, pstop, func() string {
-			return progress.Line(c.doneN.Load(), c.acceptedN.Load(), base, int64(c.total), time.Since(start))
+			return progress.Line(c.doneN.Load(), c.acceptedN.Load(), base.Load(), int64(c.total), time.Since(start))
 		}, func(line string) {
 			d.hub.publish(id, api.Event{Type: api.EventProgress, Progress: &api.ProgressEvent{
 				Done:     int(c.doneN.Load()),
@@ -625,16 +632,30 @@ func (d *Daemon) execute(id string, c *camp, set *obs.Set, start time.Time) (*ca
 			}})
 		})
 	}()
+	defer func() {
+		close(pstop)
+		<-pdone
+	}()
 
-	eng := &campaign.Engine{
-		Workers: d.cfg.Workers,
-		Done:    done,
-		Obs:     set,
-		Stop:    d.stop,
-		Sink: func(r campaign.TrialResult) error {
-			if err := w.Append(r); err != nil {
-				return err
+	return d.cfg.Executor.Execute(ExecRequest{
+		ID:   id,
+		Spec: c.spec,
+		OnResume: func(done []campaign.TrialResult) {
+			n := int64(len(done))
+			base.Store(n)
+			c.doneN.Store(n)
+			var accepted int64
+			for _, r := range done {
+				if r.Outcome == campaign.OutcomeOK {
+					accepted++
+				}
 			}
+			c.acceptedN.Store(accepted)
+			if n > 0 {
+				d.cfg.Logf("campaign %s: resuming, %d of %d trials already done", id[:12], n, c.total)
+			}
+		},
+		Sink: func(r campaign.TrialResult) error {
 			n := c.doneN.Add(1)
 			if r.Outcome == campaign.OutcomeOK {
 				c.acceptedN.Add(1)
@@ -650,51 +671,8 @@ func (d *Daemon) execute(id string, c *camp, set *obs.Set, start time.Time) (*ca
 			}
 			return nil
 		},
-	}
-	res, runErr := eng.Run(c.spec)
-	close(pstop)
-	<-pdone
-	if runErr != nil {
-		// Drain or failure: sync what we have — the journal is the
-		// resumable artifact either way.
-		if cerr := w.Close(); cerr != nil && errors.Is(runErr, campaign.ErrInterrupted) {
-			return nil, cerr
-		}
-		return nil, runErr
-	}
-	if err := w.Close(); err != nil {
-		return nil, err
-	}
-	return res, nil
-}
-
-// renderArtifacts folds the result into the cached artifact set:
-// the deterministic .json and .csv (the byte-identity artifacts) plus
-// the runinfo sidecar (wall-clock facts, host, telemetry — explicitly
-// outside the identity contract).
-func (d *Daemon) renderArtifacts(id string, c *camp, res *campaign.Result, set *obs.Set, elapsed time.Duration) (map[string][]byte, error) {
-	jsonData, err := res.JSON()
-	if err != nil {
-		return nil, err
-	}
-	var csvBuf bytes.Buffer
-	if err := res.WriteCSV(&csvBuf); err != nil {
-		return nil, err
-	}
-	ri := obs.NewRunInfo("lbfarmd")
-	ri.Name = c.spec.Name
-	ri.SpecHash = id
-	ri.Trials = c.total
-	ri.Workers = d.cfg.Workers
-	ri.Obs = set.Snapshot()
-	ri.Finish(elapsed)
-	riData, err := ri.JSON()
-	if err != nil {
-		return nil, err
-	}
-	return map[string][]byte{
-		KindJSON:    jsonData,
-		KindCSV:     csvBuf.Bytes(),
-		KindRunInfo: riData,
-	}, nil
+		Obs:  set,
+		Stop: d.stop,
+		Logf: d.cfg.Logf,
+	})
 }

@@ -1,0 +1,296 @@
+package service
+
+// The Executor seam: the daemon's externally observable behavior —
+// admission codes, SSE event ordering, cache hits, drain/re-queue —
+// must be identical whichever executor runs the trials. These tests
+// drive the daemon through a fakeExecutor alongside the default local
+// path and pin the invariants on both.
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"net/http/httptest"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+)
+
+// fakeExecutor runs trials on an in-memory engine with no durable
+// scratch — the minimal conforming Executor. It records its calls so
+// tests can assert the daemon honored the contract.
+type fakeExecutor struct {
+	// block, when non-nil, makes Execute wait for Stop (then drain) —
+	// the hook the drain test uses to catch a campaign mid-run.
+	block bool
+
+	mu       sync.Mutex
+	executed []string
+	cleaned  []string
+}
+
+func (f *fakeExecutor) Execute(req ExecRequest) (*campaign.Result, error) {
+	f.mu.Lock()
+	f.executed = append(f.executed, req.ID)
+	f.mu.Unlock()
+	req.OnResume(nil)
+	if f.block {
+		<-req.Stop
+		return nil, campaign.ErrInterrupted
+	}
+	eng := &campaign.Engine{Workers: 2, Obs: req.Obs, Stop: req.Stop, Sink: req.Sink}
+	return eng.Run(req.Spec)
+}
+
+func (f *fakeExecutor) Cleanup(id string) error {
+	f.mu.Lock()
+	f.cleaned = append(f.cleaned, id)
+	f.mu.Unlock()
+	return nil
+}
+
+// newDaemonWith is newDaemon with an explicit executor.
+func newDaemonWith(t *testing.T, dir string, ex Executor) *Daemon {
+	t.Helper()
+	store, err := OpenFSStore(dir + "/data")
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := New(Config{
+		Store:         store,
+		JournalDir:    dir + "/journals",
+		Workers:       2,
+		ProgressEvery: 10 * time.Millisecond,
+		Executor:      ex,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return d
+}
+
+// runCampaign submits spec to a not-yet-started daemon, subscribes to
+// the event stream while the campaign is still queued (so the stream
+// deterministically sees every transition), then starts the daemon and
+// reads to completion. Returns the events and the JSON artifact.
+func runCampaign(t *testing.T, d *Daemon, spec *campaign.Spec) ([]api.Event, []byte) {
+	t.Helper()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	st, code := submit(t, srv, specBody(t, spec))
+	if code != http.StatusAccepted {
+		t.Fatalf("submit = %d, want 202", code)
+	}
+	resp, err := http.Get(srv.URL + "/v1/campaigns/" + st.ID + "/events")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	d.Start()
+	var evs []api.Event
+	sc := bufio.NewScanner(resp.Body)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for sc.Scan() {
+		data, ok := strings.CutPrefix(sc.Text(), "data: ")
+		if !ok {
+			continue
+		}
+		var ev api.Event
+		if err := json.Unmarshal([]byte(data), &ev); err != nil {
+			t.Fatalf("decoding SSE frame: %v\n%s", err, data)
+		}
+		evs = append(evs, ev)
+		if ev.Type == api.EventStatus && ev.Status != nil && ev.Status.State.Terminal() {
+			break
+		}
+	}
+	if len(evs) == 0 || !evs[len(evs)-1].Status.State.Terminal() {
+		t.Fatalf("stream ended without a terminal status: %v", sc.Err())
+	}
+	artifact, code := fetch(t, srv, evs[len(evs)-1].Status.Artifacts[KindJSON])
+	if code != http.StatusOK {
+		t.Fatalf("artifact fetch = %d", code)
+	}
+	return evs, artifact
+}
+
+// eventShape reduces an SSE stream to its order-stable skeleton: the
+// status-state transitions and the terminal counts. Trial and progress
+// events interleave nondeterministically (engine workers race), so the
+// shape is what "identical across executors" means for the stream.
+func eventShape(evs []api.Event) string {
+	var b strings.Builder
+	trials := 0
+	for _, ev := range evs {
+		switch ev.Type {
+		case api.EventStatus:
+			fmt.Fprintf(&b, "status:%s ", ev.Status.State)
+		case api.EventTrial:
+			trials++
+		}
+	}
+	last := evs[len(evs)-1].Status
+	fmt.Fprintf(&b, "trials:%d done:%d/%d", trials, last.Done, last.Total)
+	return b.String()
+}
+
+// TestExecutorParity: the same campaign through the local executor and
+// a fake one yields byte-identical artifacts, the same SSE shape, and
+// the same cache-hit behavior on re-submission.
+func TestExecutorParity(t *testing.T) {
+	spec := testSpec(4)
+
+	dLocal := newDaemon(t, t.TempDir(), Hooks{})
+	defer dLocal.Close()
+	evLocal, artLocal := runCampaign(t, dLocal, spec)
+
+	fake := &fakeExecutor{}
+	dFake := newDaemonWith(t, t.TempDir(), fake)
+	defer dFake.Close()
+	evFake, artFake := runCampaign(t, dFake, spec)
+
+	if !bytes.Equal(artLocal, artFake) {
+		t.Fatal("artifacts differ between executors")
+	}
+	if sl, sf := eventShape(evLocal), eventShape(evFake); sl != sf {
+		t.Fatalf("SSE shape differs:\nlocal: %s\nfake:  %s", sl, sf)
+	}
+
+	// Cache-hit parity: both daemons answer the duplicate from cache
+	// with zero further Execute calls.
+	for name, d := range map[string]*Daemon{"local": dLocal, "fake": dFake} {
+		srv := httptest.NewServer(d.Handler())
+		st, code := submit(t, srv, specBody(t, spec))
+		srv.Close()
+		if code != http.StatusOK || !st.Cached {
+			t.Errorf("%s: duplicate submit = %d cached=%v, want 200 cached", name, code, st.Cached)
+		}
+		if d.Stats().CacheHits != 1 {
+			t.Errorf("%s: cache hits = %d, want 1", name, d.Stats().CacheHits)
+		}
+	}
+	fake.mu.Lock()
+	defer fake.mu.Unlock()
+	if len(fake.executed) != 1 {
+		t.Errorf("fake executor ran %d times, want 1", len(fake.executed))
+	}
+	if len(fake.cleaned) != 1 {
+		t.Errorf("fake executor cleaned %d times, want 1 (after artifacts landed)", len(fake.cleaned))
+	}
+}
+
+// TestExecutorDrainRequeues: an executor returning ErrInterrupted on
+// drain leaves the campaign re-queued — exactly the local journal-drain
+// behavior, whatever the executor.
+func TestExecutorDrainRequeues(t *testing.T) {
+	fake := &fakeExecutor{block: true}
+	d := newDaemonWith(t, t.TempDir(), fake)
+	d.Start()
+	st, err := d.Submit(bytes.NewReader(specBody(t, testSpec(4))))
+	if err != nil {
+		t.Fatal(err)
+	}
+	waitForState(t, d, st.ID, api.CampaignRunning)
+	if err := d.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if d.Interrupted() != 1 {
+		t.Fatalf("interrupted = %d, want 1", d.Interrupted())
+	}
+	if got, _ := d.Status(st.ID); got.State != api.CampaignQueued {
+		t.Fatalf("state after drain = %s, want queued", got.State)
+	}
+}
+
+// TestExecutorFailure: a failing executor lands the campaign in failed
+// with the error on the status, and a re-submit re-queues it.
+func TestExecutorFailure(t *testing.T) {
+	d := newDaemonWith(t, t.TempDir(), failExecutor{})
+	d.Start()
+	defer d.Close()
+	srv := httptest.NewServer(d.Handler())
+	defer srv.Close()
+	st, _ := submit(t, srv, specBody(t, testSpec(2)))
+	fin := waitDone(t, srv, st.ID)
+	if fin.State != api.CampaignFailed || !strings.Contains(fin.Error, "executor exploded") {
+		t.Fatalf("final status = %s (%q)", fin.State, fin.Error)
+	}
+	if _, code := submit(t, srv, specBody(t, testSpec(2))); code != http.StatusAccepted {
+		t.Fatalf("re-submit after failure = %d, want 202", code)
+	}
+}
+
+type failExecutor struct{}
+
+func (failExecutor) Execute(req ExecRequest) (*campaign.Result, error) {
+	req.OnResume(nil)
+	return nil, errors.New("executor exploded")
+}
+func (failExecutor) Cleanup(string) error { return nil }
+
+// waitForState polls until campaign id reaches state.
+func waitForState(t *testing.T, d *Daemon, id string, state api.CampaignState) {
+	t.Helper()
+	deadline := time.Now().Add(30 * time.Second)
+	for time.Now().Before(deadline) {
+		if st, ok := d.Status(id); ok && st.State == state {
+			return
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	t.Fatalf("campaign %s never reached %s", id, state)
+}
+
+// TestCapWorkers pins the oversubscription guard: -runs × -workers
+// beyond GOMAXPROCS is capped (loudly) unless explicitly allowed, and
+// the "use the machine" default divides the cores across the runners.
+func TestCapWorkers(t *testing.T) {
+	procs := runtime.GOMAXPROCS(0)
+	var logged []string
+	logf := func(format string, args ...any) { logged = append(logged, fmt.Sprintf(format, args...)) }
+
+	// Single runner: never capped, never logged.
+	logged = nil
+	if got := capWorkers(3*procs, 1, false, logf); got != 3*procs {
+		t.Errorf("runs=1: workers = %d, want %d (uncapped)", got, 3*procs)
+	}
+	if len(logged) != 0 {
+		t.Errorf("runs=1 logged: %v", logged)
+	}
+
+	// Default workers with concurrent runs: cores divided across runners.
+	logged = nil
+	want := procs / 2
+	if want < 1 {
+		want = 1
+	}
+	if got := capWorkers(0, 2, false, logf); got != want {
+		t.Errorf("workers=0 runs=2: got %d, want %d", got, want)
+	}
+
+	// Explicit oversubscription: capped with a loud warning...
+	logged = nil
+	if got := capWorkers(procs, 2, false, logf); got != want {
+		t.Errorf("capped workers = %d, want %d", got, want)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "WARNING") {
+		t.Errorf("cap not logged loudly: %v", logged)
+	}
+
+	// ...unless allowed — still loud.
+	logged = nil
+	if got := capWorkers(procs, 2, true, logf); got != procs {
+		t.Errorf("allowed workers = %d, want %d", got, procs)
+	}
+	if len(logged) != 1 || !strings.Contains(logged[0], "WARNING") {
+		t.Errorf("allowed oversubscription not logged loudly: %v", logged)
+	}
+}

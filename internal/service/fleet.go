@@ -1,0 +1,232 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"io"
+	"net/http"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"repro/internal/api"
+	"repro/internal/campaign"
+	"repro/internal/coord"
+	"repro/internal/obs"
+)
+
+// FleetExecutor runs campaigns on a registered worker fleet: each
+// Execute embeds one coord.Session — the same coordinator lifecycle
+// cmd/lbcoord wraps — over a per-campaign journal directory, dispatches
+// shard ranges to the workers pooled in Registry, and folds the fetched
+// shard journals into the same byte-identical artifacts the local
+// engine produces. Workers register once against the daemon
+// (lbfarm -worker -coord http://daemon) and serve every campaign it
+// admits.
+//
+// Durability matches the local path shape-for-shape: landed shard
+// journals are the resume state (a drained campaign re-queues and its
+// next session recovers them), and the per-campaign event log plus the
+// end-of-run fleetinfo artifact carry the fault-tolerance story into
+// the observability surface.
+type FleetExecutor struct {
+	// Registry is the daemon-lifetime worker pool (required).
+	Registry *coord.Registry
+	// Options carries the shared coordinator knobs (zero value: library
+	// defaults).
+	Options coord.Options
+	// Dir is the root for per-campaign coordinator state: campaign id →
+	// <Dir>/<id>.fleet/ holding shard journals and the event log
+	// (required).
+	Dir string
+	// Logf receives the embedded coordinators' logs (nil = silent).
+	Logf func(format string, args ...any)
+
+	mu        sync.Mutex
+	sessions  map[string]*coord.Session
+	fleetinfo map[string][]byte
+}
+
+// NewFleetExecutor builds a FleetExecutor over an existing registry.
+func NewFleetExecutor(reg *coord.Registry, opts coord.Options, dir string, logf func(format string, args ...any)) *FleetExecutor {
+	if logf == nil {
+		logf = func(string, ...any) {}
+	}
+	return &FleetExecutor{
+		Registry:  reg,
+		Options:   opts,
+		Dir:       dir,
+		Logf:      logf,
+		sessions:  map[string]*coord.Session{},
+		fleetinfo: map[string][]byte{},
+	}
+}
+
+// campaignDir is campaign id's coordinator state directory.
+func (e *FleetExecutor) campaignDir(id string) string {
+	return filepath.Join(e.Dir, id+".fleet")
+}
+
+// Execute implements Executor: one coordinator session per campaign,
+// recovered shards reported through OnResume, landed shards fanned into
+// Sink, a closed Stop drained into campaign.ErrInterrupted.
+func (e *FleetExecutor) Execute(req ExecRequest) (*campaign.Result, error) {
+	var resumed []campaign.TrialResult
+	sess, err := coord.NewSession(coord.SessionConfig{
+		Spec:       req.Spec,
+		Options:    e.Options,
+		JournalDir: e.campaignDir(req.ID),
+		Registry:   e.Registry,
+		OnShard: func(rng coord.Range, rows []campaign.TrialResult, recovered bool) {
+			if recovered {
+				// NewSession is still running: accumulate for OnResume.
+				resumed = append(resumed, rows...)
+				return
+			}
+			for _, r := range rows {
+				// Sink only feeds counters and streams here — the shard
+				// journal already made the rows durable.
+				_ = req.Sink(r)
+			}
+		},
+		Logf: req.Logf,
+	})
+	if err != nil {
+		return nil, err
+	}
+	e.mu.Lock()
+	e.sessions[req.ID] = sess
+	e.mu.Unlock()
+	defer func() {
+		e.mu.Lock()
+		delete(e.sessions, req.ID)
+		e.mu.Unlock()
+		sess.Close()
+	}()
+	req.OnResume(resumed)
+
+	// Bridge the daemon's drain channel into the coordinator's context.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go func() {
+		select {
+		case <-req.Stop:
+			cancel()
+		case <-ctx.Done():
+		}
+	}()
+
+	res, runErr := sess.Run(ctx)
+	if runErr != nil {
+		if errors.Is(runErr, context.Canceled) {
+			select {
+			case <-req.Stop:
+				// Drained: landed shards stay under the campaign dir for
+				// the next session to recover — the fleet twin of the
+				// local journal resume.
+				return nil, campaign.ErrInterrupted
+			default:
+			}
+		}
+		return nil, runErr
+	}
+
+	// One last scrape of the surviving workers on a fresh context (the
+	// run context may already be dead): the fleetinfo sidecar becomes an
+	// extra artifact next to json/csv/runinfo.
+	rpc := e.Options.RPCTimeout
+	if rpc <= 0 {
+		rpc = 5 * time.Second
+	}
+	fctx, fcancel := context.WithTimeout(context.Background(), rpc)
+	fi := sess.FleetInfo(fctx)
+	fcancel()
+	if data, err := fi.JSON(); err == nil {
+		e.mu.Lock()
+		e.fleetinfo[req.ID] = data
+		e.mu.Unlock()
+	} else {
+		req.Logf("campaign %s: rendering fleetinfo: %v", req.ID, err)
+	}
+	return res, nil
+}
+
+// Cleanup implements Executor: the landed shard journals are scratch
+// once the artifacts are in the store. The event log deliberately stays
+// — it is the campaign's fault-tolerance audit record, and it is what
+// the chaos tests (and operators) read after the fact.
+func (e *FleetExecutor) Cleanup(id string) error {
+	e.mu.Lock()
+	delete(e.fleetinfo, id)
+	e.mu.Unlock()
+	shards, err := filepath.Glob(filepath.Join(e.campaignDir(id), "*.shard*.jsonl"))
+	if err != nil {
+		return err
+	}
+	for _, p := range shards {
+		if err := os.Remove(p); err != nil && !errors.Is(err, os.ErrNotExist) {
+			return err
+		}
+	}
+	return nil
+}
+
+// ExtraArtifacts hands the daemon the fleetinfo document of a campaign
+// that just finished, to land in the store alongside json/csv/runinfo.
+func (e *FleetExecutor) ExtraArtifacts(id string) map[string][]byte {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	data, ok := e.fleetinfo[id]
+	if !ok {
+		return nil
+	}
+	return map[string][]byte{KindFleetInfo: data}
+}
+
+// FleetStatus snapshots the embedded coordinator of a running campaign
+// (nil when id is not executing on the fleet right now) — the
+// CampaignStatus.Fleet block.
+func (e *FleetExecutor) FleetStatus(id string) *api.CoordStatus {
+	e.mu.Lock()
+	sess := e.sessions[id]
+	e.mu.Unlock()
+	if sess == nil {
+		return nil
+	}
+	st := sess.Status()
+	return &st
+}
+
+// Routes mounts the worker registration passthrough on the daemon's
+// mux: lbfarm -worker -coord http://daemon:8800 lands here.
+func (e *FleetExecutor) Routes(mux *http.ServeMux) {
+	e.Registry.Routes(mux)
+}
+
+// WriteMetrics appends the lbfleet_ families to the daemon's /metrics
+// exposition: registry gauges plus the merged telemetry scraped from
+// the workers of every campaign currently executing on the fleet.
+func (e *FleetExecutor) WriteMetrics(w io.Writer) error {
+	e.mu.Lock()
+	sessions := make([]*coord.Session, 0, len(e.sessions))
+	for _, s := range e.sessions {
+		sessions = append(sessions, s)
+	}
+	e.mu.Unlock()
+	var snaps []*obs.Snapshot
+	for _, s := range sessions {
+		if snap := s.FleetSnapshot(); snap != nil {
+			snaps = append(snaps, snap)
+		}
+	}
+	var merged *obs.Snapshot
+	if len(snaps) > 0 {
+		merged = obs.MergeSnapshots(snaps...)
+	}
+	p := obs.NewPromWriter(w)
+	p.Gauge("lbfleet_workers", "Workers registered with the daemon's fleet registry.", obs.Sample{Value: float64(e.Registry.Size())})
+	p.Gauge("lbfleet_campaigns_running", "Campaigns currently executing on the fleet.", obs.Sample{Value: float64(len(sessions))})
+	p.Snapshot("lbfleet_", merged)
+	return p.Err()
+}

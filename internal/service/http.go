@@ -98,6 +98,12 @@ func (d *Daemon) Handler() http.Handler {
 		}
 		w.Write(data)
 	})
+	// Executor endpoints ride the same mux: in fleet mode this mounts
+	// the worker registration passthrough (POST /v1/register,
+	// POST /v1/heartbeat), so workers point -coord at the daemon.
+	if rp, ok := d.cfg.Executor.(routeProvider); ok {
+		rp.Routes(mux)
+	}
 	obs.RegisterDebug(mux, d.WriteMetrics, map[string]func() any{
 		"obs":     func() any { return d.MergedSnapshot() },
 		"lbfarmd": func() any { return d.Stats() },
@@ -106,11 +112,13 @@ func (d *Daemon) Handler() http.Handler {
 }
 
 // splitArtifact maps an artifact filename back to (hash, kind):
-// {hash}.json, {hash}.csv, {hash}.runinfo.json.
+// {hash}.json, {hash}.csv, {hash}.runinfo.json, {hash}.fleetinfo.json.
 func splitArtifact(file string) (hash, kind string, ok bool) {
 	switch {
 	case strings.HasSuffix(file, ".runinfo.json"):
 		return strings.TrimSuffix(file, ".runinfo.json"), KindRunInfo, true
+	case strings.HasSuffix(file, ".fleetinfo.json"):
+		return strings.TrimSuffix(file, ".fleetinfo.json"), KindFleetInfo, true
 	case strings.HasSuffix(file, ".json"):
 		return strings.TrimSuffix(file, ".json"), KindJSON, true
 	case strings.HasSuffix(file, ".csv"):

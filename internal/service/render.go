@@ -1,0 +1,77 @@
+package service
+
+import (
+	"bytes"
+	"time"
+
+	"repro/internal/campaign"
+	"repro/internal/obs"
+)
+
+// renderArtifacts folds the result into the cached artifact set: the
+// deterministic .json and .csv (the byte-identity artifacts, the same
+// bytes regardless of executor) plus the runinfo sidecar (wall-clock
+// facts, host, telemetry — explicitly outside the identity contract)
+// and whatever extras the executor contributes (the fleet executor
+// adds the fleetinfo document).
+func (d *Daemon) renderArtifacts(id string, c *camp, res *campaign.Result, set *obs.Set, elapsed time.Duration) (map[string][]byte, error) {
+	jsonData, err := res.JSON()
+	if err != nil {
+		return nil, err
+	}
+	var csvBuf bytes.Buffer
+	if err := res.WriteCSV(&csvBuf); err != nil {
+		return nil, err
+	}
+	ri := obs.NewRunInfo("lbfarmd")
+	ri.Name = c.spec.Name
+	ri.SpecHash = id
+	ri.Trials = c.total
+	ri.Workers = d.cfg.Workers
+	ri.Obs = set.Snapshot()
+	ri.Finish(elapsed)
+	riData, err := ri.JSON()
+	if err != nil {
+		return nil, err
+	}
+	files := map[string][]byte{
+		KindJSON:    jsonData,
+		KindCSV:     csvBuf.Bytes(),
+		KindRunInfo: riData,
+	}
+	if xa, ok := d.cfg.Executor.(extraArtifactor); ok {
+		for kind, data := range xa.ExtraArtifacts(id) {
+			files[kind] = data
+		}
+	}
+	return files, nil
+}
+
+// ArtifactPaths maps the local executor's artifact kinds to the service
+// paths they are served under for one campaign.
+func ArtifactPaths(id string) map[string]string {
+	return map[string]string{
+		KindJSON:    "/v1/artifacts/" + id + ".json",
+		KindCSV:     "/v1/artifacts/" + id + ".csv",
+		KindRunInfo: "/v1/artifacts/" + id + ".runinfo.json",
+	}
+}
+
+// artifactPaths maps what the store actually holds for id — fleet
+// campaigns carry the extra fleetinfo kind — falling back to the local
+// default set when the store has no kind index for id.
+func (d *Daemon) artifactPaths(id string) map[string]string {
+	kinds := d.cfg.Store.ArtifactKinds(id)
+	if len(kinds) == 0 {
+		return ArtifactPaths(id)
+	}
+	out := make(map[string]string, len(kinds))
+	for _, kind := range kinds {
+		name, err := artifactFile(id, kind)
+		if err != nil {
+			continue
+		}
+		out[kind] = "/v1/artifacts/" + name
+	}
+	return out
+}

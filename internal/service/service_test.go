@@ -271,12 +271,17 @@ func TestRestartResume(t *testing.T) {
 	dir := t.TempDir()
 	const seeds = 8
 
-	// First daemon: drain after 3 journaled trials.
+	// First daemon: drain after 3 journaled trials. The sink blocks once
+	// the third trial lands and is released only after Close has begun
+	// draining, so the engine deterministically observes the stop — the
+	// campaign cannot race to completion first.
 	var once sync.Once
 	reached := make(chan struct{})
+	release := make(chan struct{})
 	d1 := newDaemon(t, dir, Hooks{SinkTick: func(id string, done int) {
 		if done >= 3 {
 			once.Do(func() { close(reached) })
+			<-release
 		}
 	}})
 	d1.Start()
@@ -289,7 +294,21 @@ func TestRestartResume(t *testing.T) {
 	case <-time.After(30 * time.Second):
 		t.Fatal("never reached 3 journaled trials")
 	}
-	if err := d1.Close(); err != nil {
+	closeErr := make(chan error, 1)
+	go func() { closeErr <- d1.Close() }()
+	// Draining is visible the moment admissions are refused.
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		if _, err := d1.Submit(bytes.NewReader(specBody(t, testSpec(seeds)))); err != nil {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("daemon never started draining")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	close(release)
+	if err := <-closeErr; err != nil {
 		t.Fatal(err)
 	}
 	if d1.Interrupted() != 1 {

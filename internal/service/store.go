@@ -28,6 +28,9 @@ const (
 	KindJSON    = "json"
 	KindCSV     = "csv"
 	KindRunInfo = "runinfo"
+	// KindFleetInfo is the merged fleet telemetry document of a
+	// fleet-executed campaign (absent on local runs).
+	KindFleetInfo = "fleetinfo"
 )
 
 // artifactFile maps an artifact kind to its filename for hash.
@@ -39,6 +42,8 @@ func artifactFile(hash, kind string) (string, error) {
 		return hash + ".csv", nil
 	case KindRunInfo:
 		return hash + ".runinfo.json", nil
+	case KindFleetInfo:
+		return hash + ".fleetinfo.json", nil
 	}
 	return "", fmt.Errorf("service: unknown artifact kind %q", kind)
 }
@@ -84,6 +89,10 @@ type Store interface {
 	// HasArtifacts reports whether the complete artifact set for hash
 	// is cached.
 	HasArtifacts(hash string) bool
+	// ArtifactKinds returns the kinds of hash's cached set (nil when
+	// not cached) — what lets a status report link exactly the
+	// artifacts that exist, executor extras included.
+	ArtifactKinds(hash string) []string
 }
 
 // FSStore is the filesystem Store: records under <dir>/campaigns, the
@@ -250,6 +259,19 @@ func (s *FSStore) HasArtifacts(hash string) bool {
 	defer s.mu.Unlock()
 	_, ok := s.cached[hash]
 	return ok
+}
+
+// ArtifactKinds implements Store.
+func (s *FSStore) ArtifactKinds(hash string) []string {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	kinds, ok := s.cached[hash]
+	if !ok {
+		return nil
+	}
+	out := make([]string, len(kinds))
+	copy(out, kinds)
+	return out
 }
 
 // writeAtomic writes data to path through a same-directory temp file,
